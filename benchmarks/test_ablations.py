@@ -1,0 +1,115 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not figures from the paper; they isolate individual design decisions
+of the reproduction:
+
+* **scheduler overhead** — raw operations/second of the scheduler itself (no
+  simulation), commutativity vs recoverability, measuring the cost of the
+  extra commit-dependency bookkeeping the paper argues is small;
+* **pseudo-commit slot policy** — whether a pseudo-committed transaction keeps
+  occupying a multiprogramming slot until its durable commit (the paper's
+  reading) or releases it at completion;
+* **write probability** — how the recoverability advantage grows with the
+  fraction of writes in the read/write workload.
+"""
+
+import pytest
+
+from repro.core.policy import ConflictPolicy
+from repro.core.scheduler import Scheduler
+from repro.adts import StackType
+from repro.sim.params import SimulationParameters
+from repro.sim.simulator import run_simulation
+
+
+# ----------------------------------------------------------------------
+# Scheduler overhead (pure CC layer, no simulation)
+# ----------------------------------------------------------------------
+def _scheduler_burst(policy, transactions=50, pushes=4):
+    scheduler = Scheduler(policy=policy, record_history=False, retain_terminated=False)
+    scheduler.register_object("S", StackType())
+    for _ in range(transactions):
+        transaction = scheduler.begin()
+        for element in range(pushes):
+            scheduler.perform(transaction.tid, "S", "push", element)
+        scheduler.commit(transaction.tid)
+    return scheduler.stats
+
+
+@pytest.mark.parametrize("policy", list(ConflictPolicy), ids=lambda p: p.value)
+def test_ablation_scheduler_overhead(benchmark, policy):
+    stats = benchmark(_scheduler_burst, policy)
+    assert stats.operations_executed == 50 * 4
+
+
+# ----------------------------------------------------------------------
+# Pseudo-commit slot policy
+# ----------------------------------------------------------------------
+def test_ablation_pseudo_commit_slot(benchmark, results_dir):
+    def run_both():
+        outcomes = {}
+        for holds_slot in (True, False):
+            params = SimulationParameters(
+                mpl_level=50,
+                total_completions=400,
+                policy=ConflictPolicy.RECOVERABILITY,
+                pseudo_commit_holds_slot=holds_slot,
+                seed=17,
+            )
+            outcomes[holds_slot] = run_simulation(params, "readwrite")
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1, warmup_rounds=0)
+    lines = ["pseudo-commit slot ablation (RW model, mpl=50, infinite resources)"]
+    for holds_slot, metrics in outcomes.items():
+        lines.append(
+            f"  holds_slot={holds_slot}: throughput={metrics.throughput:.2f} "
+            f"response={metrics.response_time:.3f} pseudo_commits={metrics.pseudo_commits}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    (results_dir / "ablation_pseudo_commit_slot.txt").write_text(text + "\n")
+    assert all(metrics.throughput > 0 for metrics in outcomes.values())
+
+
+# ----------------------------------------------------------------------
+# Write-probability sweep
+# ----------------------------------------------------------------------
+def test_ablation_write_probability(benchmark, results_dir):
+    probabilities = (0.1, 0.3, 0.5)
+
+    def run_sweep():
+        table = {}
+        for probability in probabilities:
+            row = {}
+            for policy in ConflictPolicy:
+                params = SimulationParameters(
+                    mpl_level=100,
+                    total_completions=400,
+                    policy=policy,
+                    write_probability=probability,
+                    seed=23,
+                )
+                row[policy] = run_simulation(params, "readwrite").throughput
+            table[probability] = row
+        return table
+
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1, warmup_rounds=0)
+    lines = ["write-probability ablation (RW model, mpl=100, infinite resources)"]
+    improvements = {}
+    for probability, row in table.items():
+        baseline = row[ConflictPolicy.COMMUTATIVITY]
+        improved = row[ConflictPolicy.RECOVERABILITY]
+        improvements[probability] = (improved - baseline) / baseline if baseline else 0.0
+        lines.append(
+            f"  write_probability={probability}: commutativity={baseline:.2f} "
+            f"recoverability={improved:.2f} gain={improvements[probability] * 100:+.1f}%"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    (results_dir / "ablation_write_probability.txt").write_text(text + "\n")
+    # More writes means more non-commuting pairs, which is exactly where
+    # recoverability helps: the gain at 0.5 should not be smaller than at 0.1.
+    assert improvements[0.5] >= improvements[0.1] - 0.05

@@ -1,0 +1,18 @@
+"""Figure 5: response time vs mpl, read/write model, infinite resources.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_5(run_figure):
+    result = run_figure("figure-5")
+    commutativity = dict(result.series("commutativity", "response_time"))
+    recoverability = dict(result.series("recoverability", "response_time"))
+    top = max(commutativity)
+    # Under heavy data contention the recoverability scheduler answers sooner.
+    assert recoverability[top] <= commutativity[top]
+    assert all(value > 0 for value in recoverability.values())

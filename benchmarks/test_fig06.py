@@ -1,0 +1,18 @@
+"""Figure 6: blocking and restart ratios, read/write model, infinite resources.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_6(run_figure):
+    result = run_figure("figure-6")
+    commutativity = dict(result.series("commutativity", "blocking_ratio"))
+    recoverability = dict(result.series("recoverability", "blocking_ratio"))
+    top = max(commutativity)
+    assert recoverability[top] <= commutativity[top]
+    restarts = dict(result.series("recoverability", "restart_ratio"))
+    assert all(value >= 0 for value in restarts.values())

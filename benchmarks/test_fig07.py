@@ -1,0 +1,21 @@
+"""Figure 7: cycle-check ratio and abort length, read/write model, infinite resources.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_7(run_figure):
+    result = run_figure("figure-7")
+    recoverability = dict(result.series("recoverability", "cycle_check_ratio"))
+    commutativity = dict(result.series("commutativity", "cycle_check_ratio"))
+    top = max(recoverability)
+    # Cycle checks happen on every block and on every recoverable execute, so
+    # the ratio is strictly positive under contention for both policies.
+    assert recoverability[top] > 0
+    assert commutativity[top] > 0
+    abort_lengths = dict(result.series("recoverability", "abort_length"))
+    assert all(value >= 0 for value in abort_lengths.values())

@@ -1,0 +1,13 @@
+"""Figure 8: throughput without fair scheduling, read/write model, infinite resources.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_8(run_figure):
+    result = run_figure("figure-8")
+    assert_shape_recoverability_wins(result, min_gain=0.10)

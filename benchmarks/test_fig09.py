@@ -1,0 +1,16 @@
+"""Figure 9: conflict ratios without fair scheduling, read/write model, infinite resources.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_9(run_figure):
+    result = run_figure("figure-9")
+    commutativity = dict(result.series("commutativity", "blocking_ratio"))
+    recoverability = dict(result.series("recoverability", "blocking_ratio"))
+    top = max(commutativity)
+    assert recoverability[top] <= commutativity[top]

@@ -1,0 +1,13 @@
+"""Figure 15: throughput, ADT model, infinite resources, Pc=2, Pr in {0,4,8}.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_15(run_figure):
+    result = run_figure("figure-15")
+    assert_shape_pr_ordering(result, min_gain=0.25)

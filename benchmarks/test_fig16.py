@@ -1,0 +1,16 @@
+"""Figure 16: conflict ratios, ADT model, infinite resources, Pc=4.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_16(run_figure):
+    result = run_figure("figure-16")
+    low_pr = dict(result.series("Pc=4,Pr=0", "blocking_ratio"))
+    high_pr = dict(result.series("Pc=4,Pr=8", "blocking_ratio"))
+    top = max(low_pr)
+    assert high_pr[top] <= low_pr[top]

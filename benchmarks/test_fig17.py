@@ -1,0 +1,13 @@
+"""Figure 17: throughput, ADT model, 5 resource units, Pc=4.
+
+Regenerates the figure's series at the selected reproduction scale and checks
+the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
+the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+
+
+def test_figure_17(run_figure):
+    result = run_figure("figure-17")
+    assert_shape_pr_ordering(result, min_gain=0.05)

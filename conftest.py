@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``repro`` importable straight from the source tree.
+
+The package is normally installed with ``pip install -e .``; this fallback
+lets ``pytest tests/`` and ``pytest benchmarks/`` work from a fresh checkout
+(or on machines where an editable install is unavailable) by putting ``src/``
+on ``sys.path`` ahead of any installed copy.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,65 @@
+"""Quickstart: recoverability in ten lines.
+
+Two transactions push onto the same stack.  Two pushes do not commute, so a
+commutativity-based scheduler would make the second transaction wait for the
+first to finish.  They *are* recoverable, so the recoverability scheduler runs
+both at once and merely pins the commit order — and if the first transaction
+aborts, the second still commits (no cascading abort).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import _bootstrap  # noqa: F401  (sys.path setup for running from a checkout)
+
+from repro import ConflictPolicy, Scheduler, TransactionStatus
+from repro.adts import StackType
+
+
+def main() -> None:
+    print("=== commutativity-only baseline ===")
+    baseline = Scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+    baseline.register_object("S", StackType())
+    t1, t2 = baseline.begin(), baseline.begin()
+    print("T1 push(4):", baseline.perform(t1.tid, "S", "push", 4).status.value)
+    print("T2 push(2):", baseline.perform(t2.tid, "S", "push", 2).status.value, "<- waits for T1")
+    baseline.commit(t1.tid)
+    baseline.commit(t2.tid)
+    print("final stack:", baseline.committed_state("S"))
+
+    print()
+    print("=== recoverability scheduler ===")
+    scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+    scheduler.register_object("S", StackType())
+    t1, t2 = scheduler.begin(), scheduler.begin()
+    print("T1 push(4):", scheduler.perform(t1.tid, "S", "push", 4).status.value)
+    print("T2 push(2):", scheduler.perform(t2.tid, "S", "push", 2).status.value, "<- runs at once")
+    print("T2 commit dependencies:", scheduler.commit_dependencies(t2.tid))
+
+    # T2 finishes first: it pseudo-commits (complete for the user) and becomes
+    # durable as soon as T1 terminates.
+    status = scheduler.commit(t2.tid)
+    print("T2 commit() ->", status.value)
+    assert status is TransactionStatus.PSEUDO_COMMITTED
+
+    status = scheduler.commit(t1.tid)
+    print("T1 commit() ->", status.value)
+    print("T2 is now:", scheduler.transaction(t2.tid).status.value)
+    print("final stack:", scheduler.committed_state("S"))
+
+    print()
+    print("=== no cascading aborts ===")
+    scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+    scheduler.register_object("S", StackType())
+    t1, t2 = scheduler.begin(), scheduler.begin()
+    scheduler.perform(t1.tid, "S", "push", 4)
+    scheduler.perform(t2.tid, "S", "push", 2)
+    scheduler.commit(t2.tid)          # pseudo-committed behind T1
+    scheduler.abort(t1.tid)           # T1 gives up...
+    print("after T1 aborts, T2 is:", scheduler.transaction(t2.tid).status.value)
+    print("final stack:", scheduler.committed_state("S"), "(T1's push was undone, T2's survives)")
+
+
+if __name__ == "__main__":
+    main()

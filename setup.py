@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed with the legacy code path
+(``pip install -e . --no-use-pep517 --no-build-isolation``) on machines
+without network access or the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — Semantics-Based Concurrency Control: Beyond Commutativity.
+
+A full reproduction of Badrinath & Ramamritham's recoverability-based
+concurrency control (ICDE 1987 / ACM TODS 17(1), 1992): the formal model of
+operations on atomic data types, commutativity and recoverability tables, the
+scheduler with commit-dependency tracking and pseudo-commit, the bundled data
+types (Page, Stack, Set, Table, and extras), the closed-queuing simulation
+model of Section 5, and the experiment harness that regenerates every table
+and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import Scheduler, ConflictPolicy
+    from repro.adts import StackType
+
+    scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+    scheduler.register_object("S", StackType())
+    t1, t2 = scheduler.begin(), scheduler.begin()
+    scheduler.perform(t1.tid, "S", "push", 4)
+    scheduler.perform(t2.tid, "S", "push", 2)   # recoverable: executes now
+    scheduler.commit(t2.tid)                     # pseudo-commits behind T1
+    scheduler.commit(t1.tid)                     # both durably commit
+"""
+
+from .core import (
+    AbortReason,
+    Answer,
+    CompatibilitySpec,
+    ConflictClass,
+    ConflictPolicy,
+    DependencyGraph,
+    EdgeKind,
+    Event,
+    ExecutionLog,
+    Invocation,
+    ObjectManager,
+    ObjectUniverse,
+    OperationResult,
+    OperationSpec,
+    RelationTable,
+    RequestHandle,
+    RequestStatus,
+    Scheduler,
+    SchedulerListener,
+    SchedulerStatistics,
+    Transaction,
+    TransactionStatus,
+    TypeSpecification,
+    check_declared_sound,
+    derive_compatibility,
+    is_free_of_cascading_aborts,
+    is_log_sound,
+    is_serializable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AbortReason",
+    "Answer",
+    "CompatibilitySpec",
+    "ConflictClass",
+    "ConflictPolicy",
+    "DependencyGraph",
+    "EdgeKind",
+    "Event",
+    "ExecutionLog",
+    "Invocation",
+    "ObjectManager",
+    "ObjectUniverse",
+    "OperationResult",
+    "OperationSpec",
+    "RelationTable",
+    "RequestHandle",
+    "RequestStatus",
+    "Scheduler",
+    "SchedulerListener",
+    "SchedulerStatistics",
+    "Transaction",
+    "TransactionStatus",
+    "TypeSpecification",
+    "check_declared_sound",
+    "derive_compatibility",
+    "is_free_of_cascading_aborts",
+    "is_log_sound",
+    "is_serializable",
+]

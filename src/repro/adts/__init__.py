@@ -1,0 +1,38 @@
+"""Atomic data types used throughout the reproduction.
+
+The four types from the paper's Section 3.2 (Page, Stack, Set, Table) plus two
+extra types (Counter, FIFO Queue) that exercise the same machinery in the
+examples and tests.  Every type carries both an executable specification
+(pure ``state``/``return`` functions) and the declared compatibility tables,
+so tables can be *checked* against the semantics, not just asserted.
+"""
+
+from .base import AtomicObject, AtomicType
+from .counter import COUNTER_OPERATIONS, CounterType
+from .page import PAGE_OPERATIONS, PageType
+from .queue_adt import QUEUE_OPERATIONS, QueueType
+from .registry import available_types, get_type, paper_types, register_type
+from .set_adt import SET_OPERATIONS, SetType
+from .stack import STACK_OPERATIONS, StackType
+from .table import TABLE_OPERATIONS, TableType
+
+__all__ = [
+    "AtomicObject",
+    "AtomicType",
+    "PageType",
+    "StackType",
+    "SetType",
+    "TableType",
+    "CounterType",
+    "QueueType",
+    "PAGE_OPERATIONS",
+    "STACK_OPERATIONS",
+    "SET_OPERATIONS",
+    "TABLE_OPERATIONS",
+    "COUNTER_OPERATIONS",
+    "QUEUE_OPERATIONS",
+    "register_type",
+    "get_type",
+    "available_types",
+    "paper_types",
+]

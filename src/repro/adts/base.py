@@ -1,0 +1,94 @@
+"""Base classes shared by the bundled atomic data types.
+
+An *atomic data type* here is a :class:`~repro.core.specification.TypeSpecification`
+subclass whose operations are pure functions over immutable states, plus the
+declared compatibility tables from the paper.  :class:`AtomicObject` is a thin
+mutable wrapper around one such specification — it is what application code
+touches directly in the examples, and what the scheduler's object managers use
+to hold the committed state of each object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..core.compatibility import CompatibilitySpec
+from ..core.specification import Invocation, OperationResult, TypeSpecification
+
+__all__ = ["AtomicType", "AtomicObject"]
+
+
+class AtomicType(TypeSpecification):
+    """Convenience base class for the bundled ADTs.
+
+    Subclasses populate ``self._operations`` in ``__init__`` (via the parent
+    constructor) and implement :meth:`initial_state`, the derivation sample
+    hooks, and :meth:`compatibility`.
+    """
+
+    def make_object(self, name: str, state: Any = None) -> "AtomicObject":
+        """Create a named mutable instance of this type.
+
+        ``state`` defaults to :meth:`initial_state`.
+        """
+        initial = self.initial_state() if state is None else state
+        return AtomicObject(name=name, spec=self, state=initial)
+
+
+class AtomicObject:
+    """A named, mutable instance of an atomic data type.
+
+    The object applies operations through the owning specification, so state
+    transitions and return values are exactly the ``state``/``return``
+    components the paper's definitions are phrased in.  The wrapper never
+    mutates states in place; each execution replaces the held state with the
+    one produced by the specification.
+    """
+
+    def __init__(self, name: str, spec: TypeSpecification, state: Any):
+        self.name = name
+        self.spec = spec
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> Any:
+        """The current (visible) state of the object."""
+        return self._state
+
+    def execute(self, op: str, *args: Any) -> Any:
+        """Execute ``op(*args)`` against the current state and return its value."""
+        return self.apply(Invocation(op, tuple(args))).value
+
+    def apply(self, invocation: Invocation) -> OperationResult:
+        """Apply an :class:`Invocation`, advancing the held state."""
+        result = self.spec.apply(self._state, invocation)
+        self._state = result.state
+        return result
+
+    def peek(self, invocation: Invocation) -> OperationResult:
+        """Evaluate an invocation *without* changing the held state."""
+        return self.spec.apply(self._state, invocation)
+
+    # ------------------------------------------------------------------
+    # Snapshots (used by recovery tests and examples)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        """Return the current state; states are immutable so this is a copy."""
+        return self._state
+
+    def restore(self, state: Any) -> None:
+        """Replace the held state with a previously taken snapshot."""
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        """The declared compatibility tables of the object's type."""
+        return self.spec.compatibility()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AtomicObject {self.name!r} type={self.spec.name!r} state={self._state!r}>"

@@ -1,0 +1,106 @@
+"""A Counter data type (not in the paper; an extra substrate type).
+
+Counters are the canonical "hot-spot" object in semantic concurrency control:
+``increment`` and ``decrement`` commute with each other, while ``read``
+conflicts with both under commutativity.  Under recoverability the updates are
+additionally recoverable relative to ``read`` (their return value is the
+constant "ok"), so an update never waits behind an uncommitted reader.
+
+The type is used by the examples and by ablation benchmarks; its tables are
+*derived*, and also declared here so the soundness tests cover it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.specification import Invocation, OperationResult, OperationSpec
+from .base import AtomicType
+
+__all__ = ["CounterType", "COUNTER_OPERATIONS"]
+
+COUNTER_OPERATIONS: Tuple[str, ...] = ("increment", "decrement", "read")
+
+
+def _increment(state: int, args: Tuple[Any, ...]) -> OperationResult:
+    amount = args[0] if args else 1
+    return OperationResult(state=state + amount, value="ok")
+
+
+def _decrement(state: int, args: Tuple[Any, ...]) -> OperationResult:
+    amount = args[0] if args else 1
+    return OperationResult(state=state - amount, value="ok")
+
+
+def _read(state: int, args: Tuple[Any, ...]) -> OperationResult:
+    return OperationResult(state=state, value=state)
+
+
+def _increment_inverse(state_before: int, args: Tuple[Any, ...], value: Any) -> Invocation:
+    return Invocation("decrement", (args[0] if args else 1,))
+
+
+def _decrement_inverse(state_before: int, args: Tuple[Any, ...], value: Any) -> Invocation:
+    return Invocation("increment", (args[0] if args else 1,))
+
+
+class CounterType(AtomicType):
+    """Unbounded integer counter with blind increments and decrements."""
+
+    name = "counter"
+
+    def __init__(self) -> None:
+        super().__init__(
+            {
+                "increment": OperationSpec(
+                    name="increment", function=_increment, inverse=_increment_inverse
+                ),
+                "decrement": OperationSpec(
+                    name="decrement", function=_decrement, inverse=_decrement_inverse
+                ),
+                "read": OperationSpec(name="read", function=_read, is_read_only=True),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Specification interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> int:
+        return 0
+
+    def sample_states(self) -> Sequence[int]:
+        return [0, 1, 5]
+
+    def sample_invocations(self, op_name: str) -> Sequence[Invocation]:
+        if op_name == "read":
+            return [Invocation("read")]
+        return [Invocation(op_name, (1,)), Invocation(op_name, (3,))]
+
+    # ------------------------------------------------------------------
+    # Declared tables
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        commutativity = RelationTable.from_rows(
+            name="counter commutativity",
+            operations=COUNTER_OPERATIONS,
+            rows={
+                "increment": [Answer.YES, Answer.YES, Answer.NO],
+                "decrement": [Answer.YES, Answer.YES, Answer.NO],
+                "read": [Answer.NO, Answer.NO, Answer.YES],
+            },
+        )
+        recoverability = RelationTable.from_rows(
+            name="counter recoverability",
+            operations=COUNTER_OPERATIONS,
+            rows={
+                "increment": [Answer.YES, Answer.YES, Answer.YES],
+                "decrement": [Answer.YES, Answer.YES, Answer.YES],
+                "read": [Answer.NO, Answer.NO, Answer.YES],
+            },
+        )
+        return CompatibilitySpec(
+            type_name=self.name,
+            commutativity=commutativity,
+            recoverability=recoverability,
+        )

@@ -1,0 +1,107 @@
+"""A FIFO Queue data type (not in the paper; an extra substrate type).
+
+The queue mirrors the stack example from the other end: two ``enqueue``
+operations do not commute (the final order differs) but each is recoverable
+relative to the other and relative to ``front``/``dequeue``.  It is used by
+the order-processing example and by additional tests of the scheduler on
+long chains of commit dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.specification import Invocation, OperationResult, OperationSpec
+from .base import AtomicType
+
+__all__ = ["QueueType", "QUEUE_OPERATIONS"]
+
+QUEUE_OPERATIONS: Tuple[str, ...] = ("enqueue", "dequeue", "front", "length")
+
+State = Tuple[Any, ...]
+
+
+def _enqueue(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (element,) = args
+    return OperationResult(state=state + (element,), value="ok")
+
+
+def _dequeue(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    if not state:
+        return OperationResult(state=state, value=None)
+    return OperationResult(state=state[1:], value=state[0])
+
+
+def _front(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    if not state:
+        return OperationResult(state=state, value=None)
+    return OperationResult(state=state, value=state[0])
+
+
+def _length(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    return OperationResult(state=state, value=len(state))
+
+
+class QueueType(AtomicType):
+    """FIFO queue object."""
+
+    name = "queue"
+
+    def __init__(self) -> None:
+        super().__init__(
+            {
+                "enqueue": OperationSpec(name="enqueue", function=_enqueue),
+                "dequeue": OperationSpec(name="dequeue", function=_dequeue),
+                "front": OperationSpec(name="front", function=_front, is_read_only=True),
+                "length": OperationSpec(name="length", function=_length, is_read_only=True),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Specification interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        return ()
+
+    def sample_states(self) -> Sequence[State]:
+        return [(), (1,), (1, 2), (2, 1), (1, 1, 2)]
+
+    def sample_invocations(self, op_name: str) -> Sequence[Invocation]:
+        if op_name == "enqueue":
+            return [Invocation("enqueue", (1,)), Invocation("enqueue", (2,))]
+        return [Invocation(op_name)]
+
+    # ------------------------------------------------------------------
+    # Declared tables
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        ops = QUEUE_OPERATIONS
+        commutativity = RelationTable.from_rows(
+            name="queue commutativity",
+            operations=ops,
+            rows={
+                # An enqueue changes what dequeue/front/length observe only when
+                # the queue is short, but Definition 2 quantifies over all
+                # states, so the entries below are the conservative ones.
+                "enqueue": [Answer.YES_SP, Answer.NO, Answer.NO, Answer.NO],
+                "dequeue": [Answer.NO, Answer.NO, Answer.NO, Answer.NO],
+                "front": [Answer.NO, Answer.NO, Answer.YES, Answer.YES],
+                "length": [Answer.NO, Answer.NO, Answer.YES, Answer.YES],
+            },
+        )
+        recoverability = RelationTable.from_rows(
+            name="queue recoverability",
+            operations=ops,
+            rows={
+                "enqueue": [Answer.YES, Answer.YES, Answer.YES, Answer.YES],
+                "dequeue": [Answer.NO, Answer.NO, Answer.YES, Answer.YES],
+                "front": [Answer.NO, Answer.NO, Answer.YES, Answer.YES],
+                "length": [Answer.NO, Answer.NO, Answer.YES, Answer.YES],
+            },
+        )
+        return CompatibilitySpec(
+            type_name=self.name,
+            commutativity=commutativity,
+            recoverability=recoverability,
+        )

@@ -1,0 +1,70 @@
+"""Registry of the bundled atomic data types.
+
+The registry gives the rest of the package (examples, workload generators,
+benchmarks) one place to look up a type by name, and gives users a hook to
+register their own :class:`~repro.adts.base.AtomicType` implementations so
+that the scheduler and derivation machinery can find them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from ..core.errors import SpecificationError
+from .base import AtomicType
+from .counter import CounterType
+from .page import PageType
+from .queue_adt import QueueType
+from .set_adt import SetType
+from .stack import StackType
+from .table import TableType
+
+__all__ = [
+    "register_type",
+    "get_type",
+    "available_types",
+    "paper_types",
+]
+
+_FACTORIES: Dict[str, Callable[[], AtomicType]] = {}
+
+
+def register_type(name: str, factory: Callable[[], AtomicType], replace: bool = False) -> None:
+    """Register a type factory under ``name``.
+
+    Raises :class:`~repro.core.errors.SpecificationError` if the name is taken
+    and ``replace`` is not set.
+    """
+    if name in _FACTORIES and not replace:
+        raise SpecificationError(f"a type named {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_type(name: str) -> AtomicType:
+    """Instantiate the registered type called ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown type {name!r}; registered types: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_types() -> List[str]:
+    """Names of every registered type, sorted."""
+    return sorted(_FACTORIES)
+
+
+def paper_types() -> List[str]:
+    """The four data types whose tables appear in the paper (Tables I-VIII)."""
+    return ["page", "stack", "set", "table"]
+
+
+# Built-in registrations.
+register_type("page", PageType)
+register_type("stack", StackType)
+register_type("set", SetType)
+register_type("table", TableType)
+register_type("counter", CounterType)
+register_type("queue", QueueType)

@@ -1,0 +1,102 @@
+"""The Set data type — Section 3.2.3, Tables V and VI.
+
+Operations:
+
+``insert(x)``
+    adds ``x`` to the set and returns ``"ok"`` (duplicates are absorbed);
+``delete(x)``
+    removes ``x`` and returns ``"Success"``, or ``"Failure"`` if absent;
+``member(x)``
+    returns ``"yes"`` or ``"no"``.
+
+Inserts always commute with each other; operations on *different* elements
+commute; operations on the same element generally do not, but ``insert`` is
+recoverable relative to everything (its return value is the constant "ok"),
+which is the property sequence (3) of the paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Sequence, Tuple
+
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.specification import Invocation, OperationResult, OperationSpec
+from .base import AtomicType
+
+__all__ = ["SetType", "SET_OPERATIONS"]
+
+SET_OPERATIONS: Tuple[str, ...] = ("insert", "delete", "member")
+
+State = FrozenSet[Any]
+
+
+def _insert(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (element,) = args
+    return OperationResult(state=state | {element}, value="ok")
+
+
+def _delete(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (element,) = args
+    if element in state:
+        return OperationResult(state=state - {element}, value="Success")
+    return OperationResult(state=state, value="Failure")
+
+
+def _member(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (element,) = args
+    return OperationResult(state=state, value="yes" if element in state else "no")
+
+
+class SetType(AtomicType):
+    """Mathematical set of elements."""
+
+    name = "set"
+
+    def __init__(self) -> None:
+        super().__init__(
+            {
+                "insert": OperationSpec(name="insert", function=_insert),
+                "delete": OperationSpec(name="delete", function=_delete),
+                "member": OperationSpec(name="member", function=_member, is_read_only=True),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Specification interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        return frozenset()
+
+    def sample_states(self) -> Sequence[State]:
+        return [frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})]
+
+    def sample_invocations(self, op_name: str) -> Sequence[Invocation]:
+        return [Invocation(op_name, (1,)), Invocation(op_name, (2,))]
+
+    # ------------------------------------------------------------------
+    # Declared tables (paper Tables V and VI)
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        commutativity = RelationTable.from_rows(
+            name="Table V (set commutativity)",
+            operations=SET_OPERATIONS,
+            rows={
+                "insert": [Answer.YES, Answer.YES_DP, Answer.YES_DP],
+                "delete": [Answer.YES_DP, Answer.YES_DP, Answer.YES_DP],
+                "member": [Answer.YES_DP, Answer.YES_DP, Answer.YES],
+            },
+        )
+        recoverability = RelationTable.from_rows(
+            name="Table VI (set recoverability)",
+            operations=SET_OPERATIONS,
+            rows={
+                "insert": [Answer.YES, Answer.YES, Answer.YES],
+                "delete": [Answer.YES_DP, Answer.YES_DP, Answer.YES],
+                "member": [Answer.YES_DP, Answer.YES_DP, Answer.YES],
+            },
+        )
+        return CompatibilitySpec(
+            type_name=self.name,
+            commutativity=commutativity,
+            recoverability=recoverability,
+        )

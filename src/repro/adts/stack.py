@@ -1,0 +1,111 @@
+"""The Stack data type — Section 3.2.2, Tables III and IV.
+
+Operations:
+
+``push(x)``
+    adds ``x`` to the top of the stack and returns ``"ok"``;
+``pop()``
+    removes and returns the top element, or returns ``None`` (the paper's
+    *null*) if the stack is empty;
+``top()``
+    returns the top element without removing it, or ``None`` if empty.
+
+Two pushes do not commute (the final stack order differs) unless they push the
+same element, but a push *is* recoverable relative to another push, to a top,
+and to a pop: its return value ("ok") never depends on what executed before
+it.  This is the paper's flagship example of recoverability buying concurrency
+that commutativity cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.specification import Invocation, OperationResult, OperationSpec
+from .base import AtomicType
+
+__all__ = ["StackType", "STACK_OPERATIONS"]
+
+STACK_OPERATIONS: Tuple[str, ...] = ("push", "pop", "top")
+
+State = Tuple[Any, ...]
+
+
+def _push(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (element,) = args
+    return OperationResult(state=state + (element,), value="ok")
+
+
+def _pop(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    if not state:
+        return OperationResult(state=state, value=None)
+    return OperationResult(state=state[:-1], value=state[-1])
+
+
+def _top(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    if not state:
+        return OperationResult(state=state, value=None)
+    return OperationResult(state=state, value=state[-1])
+
+
+def _push_inverse(state_before: State, args: Tuple[Any, ...], value: Any) -> Invocation:
+    """The logical undo of ``push(x)`` is a ``pop()`` of the pushed element."""
+    return Invocation("pop")
+
+
+class StackType(AtomicType):
+    """LIFO stack object."""
+
+    name = "stack"
+
+    def __init__(self) -> None:
+        super().__init__(
+            {
+                "push": OperationSpec(name="push", function=_push, inverse=_push_inverse),
+                "pop": OperationSpec(name="pop", function=_pop),
+                "top": OperationSpec(name="top", function=_top, is_read_only=True),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Specification interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        return ()
+
+    def sample_states(self) -> Sequence[State]:
+        return [(), (1,), (1, 2), (2, 2), (3, 1, 2)]
+
+    def sample_invocations(self, op_name: str) -> Sequence[Invocation]:
+        if op_name == "push":
+            return [Invocation("push", (1,)), Invocation("push", (2,))]
+        return [Invocation(op_name)]
+
+    # ------------------------------------------------------------------
+    # Declared tables (paper Tables III and IV)
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        commutativity = RelationTable.from_rows(
+            name="Table III (stack commutativity)",
+            operations=STACK_OPERATIONS,
+            rows={
+                "push": [Answer.YES_SP, Answer.NO, Answer.NO],
+                "pop": [Answer.NO, Answer.NO, Answer.NO],
+                "top": [Answer.NO, Answer.NO, Answer.YES],
+            },
+        )
+        recoverability = RelationTable.from_rows(
+            name="Table IV (stack recoverability)",
+            operations=STACK_OPERATIONS,
+            rows={
+                "push": [Answer.YES, Answer.YES, Answer.YES],
+                "pop": [Answer.NO, Answer.NO, Answer.YES],
+                "top": [Answer.NO, Answer.NO, Answer.YES],
+            },
+        )
+        return CompatibilitySpec(
+            type_name=self.name,
+            commutativity=commutativity,
+            recoverability=recoverability,
+        )

@@ -1,0 +1,154 @@
+"""The Table (keyed map) data type — Section 3.2.4, Tables VII and VIII.
+
+A Table stores ``(key, item)`` pairs with unique keys.  Operations:
+
+``insert(key, item)``
+    adds the pair; returns ``"Failure"`` if the key already exists, otherwise
+    ``"Success"``;
+``delete(key)``
+    removes the pair; ``"Failure"`` if the key is absent, else ``"Success"``;
+``lookup(key)``
+    returns the stored item, or ``"not_found"``;
+``size()``
+    returns the number of entries;
+``modify(key, item)``
+    replaces the item stored under ``key``; ``"Failure"`` if absent, else
+    ``"Success"``.
+
+The interesting asymmetry (the paper's own motivating discussion): ``insert``
+and ``delete`` are recoverable relative to ``size`` — their return values do
+not depend on a prior ``size`` — but ``size`` is *not* recoverable relative to
+them, because the count it returns changes.
+
+The *parameter* used for the Yes-SP / Yes-DP qualification is the **key**,
+not the full argument list: ``modify(k, a)`` and ``lookup(k)`` operate on the
+same parameter even though their argument tuples differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Mapping, Sequence, Tuple
+
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.specification import Invocation, OperationResult, OperationSpec
+from .base import AtomicType
+
+__all__ = ["TableType", "TABLE_OPERATIONS"]
+
+TABLE_OPERATIONS: Tuple[str, ...] = ("insert", "delete", "lookup", "size", "modify")
+
+#: Table states are plain dicts treated as immutable values; every operation
+#: that changes the table returns a fresh dict.
+State = Dict[Hashable, Any]
+
+
+def _insert(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    key, item = args
+    if key in state:
+        return OperationResult(state=state, value="Failure")
+    new_state = dict(state)
+    new_state[key] = item
+    return OperationResult(state=new_state, value="Success")
+
+
+def _delete(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (key,) = args
+    if key not in state:
+        return OperationResult(state=state, value="Failure")
+    new_state = dict(state)
+    del new_state[key]
+    return OperationResult(state=new_state, value="Success")
+
+
+def _lookup(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    (key,) = args
+    return OperationResult(state=state, value=state.get(key, "not_found"))
+
+
+def _size(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    return OperationResult(state=state, value=len(state))
+
+
+def _modify(state: State, args: Tuple[Any, ...]) -> OperationResult:
+    key, item = args
+    if key not in state:
+        return OperationResult(state=state, value="Failure")
+    new_state = dict(state)
+    new_state[key] = item
+    return OperationResult(state=new_state, value="Success")
+
+
+class TableType(AtomicType):
+    """Keyed table of unique ``(key, item)`` pairs."""
+
+    name = "table"
+
+    def __init__(self) -> None:
+        super().__init__(
+            {
+                "insert": OperationSpec(name="insert", function=_insert),
+                "delete": OperationSpec(name="delete", function=_delete),
+                "lookup": OperationSpec(name="lookup", function=_lookup, is_read_only=True),
+                "size": OperationSpec(name="size", function=_size, is_read_only=True),
+                "modify": OperationSpec(name="modify", function=_modify),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Specification interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        return {}
+
+    def sample_states(self) -> Sequence[State]:
+        return [{}, {"k1": "a"}, {"k2": "b"}, {"k1": "a", "k2": "b"}]
+
+    def sample_invocations(self, op_name: str) -> Sequence[Invocation]:
+        if op_name == "size":
+            return [Invocation("size")]
+        if op_name in ("insert", "modify"):
+            return [
+                Invocation(op_name, ("k1", "x")),
+                Invocation(op_name, ("k1", "y")),
+                Invocation(op_name, ("k2", "x")),
+            ]
+        return [Invocation(op_name, ("k1",)), Invocation(op_name, ("k2",))]
+
+    def conflict_parameter(self, invocation: Invocation) -> Hashable:
+        """The key is the parameter that decides Yes-SP / Yes-DP entries."""
+        if invocation.args:
+            return invocation.args[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Declared tables (paper Tables VII and VIII)
+    # ------------------------------------------------------------------
+    def compatibility(self) -> CompatibilitySpec:
+        ops = TABLE_OPERATIONS
+        commutativity = RelationTable.from_rows(
+            name="Table VII (table commutativity)",
+            operations=ops,
+            rows={
+                "insert": [Answer.YES_DP, Answer.YES_DP, Answer.YES_DP, Answer.NO, Answer.YES_DP],
+                "delete": [Answer.YES_DP, Answer.YES_DP, Answer.YES_DP, Answer.NO, Answer.YES_DP],
+                "lookup": [Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES, Answer.YES_DP],
+                "size": [Answer.NO, Answer.NO, Answer.YES, Answer.YES, Answer.YES],
+                "modify": [Answer.YES_DP, Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES_DP],
+            },
+        )
+        recoverability = RelationTable.from_rows(
+            name="Table VIII (table recoverability)",
+            operations=ops,
+            rows={
+                "insert": [Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES, Answer.YES],
+                "delete": [Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES, Answer.YES],
+                "lookup": [Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES, Answer.YES_DP],
+                "size": [Answer.NO, Answer.NO, Answer.YES, Answer.YES, Answer.YES],
+                "modify": [Answer.YES_DP, Answer.YES_DP, Answer.YES, Answer.YES, Answer.YES],
+            },
+        )
+        return CompatibilitySpec(
+            type_name=self.name,
+            commutativity=commutativity,
+            recoverability=recoverability,
+        )

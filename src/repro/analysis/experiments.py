@@ -1,0 +1,181 @@
+"""Experiment harness: parameter sweeps, multi-run averaging, result objects.
+
+The paper's figures all have the same shape: one or more *variants* (e.g.
+commutativity vs recoverability, or P_r = 0/4/8) swept over a range of
+multiprogramming levels, each point averaged over several runs.  An
+:class:`ExperimentSpec` captures that shape declaratively; :func:`run_experiment`
+executes it and returns an :class:`ExperimentResult` that the reporting module
+renders as the paper-style series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ExperimentError
+from ..sim.metrics import RunMetrics
+from ..sim.params import SimulationParameters
+from ..sim.simulator import run_simulation
+
+__all__ = [
+    "Variant",
+    "AveragedMetrics",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One curve of a figure: a label plus parameter overrides."""
+
+    label: str
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AveragedMetrics:
+    """Metrics of one (variant, mpl) point averaged over the runs."""
+
+    runs: int
+    throughput: float
+    response_time: float
+    blocking_ratio: float
+    restart_ratio: float
+    cycle_check_ratio: float
+    abort_length: float
+    completions: float
+    pseudo_commit_fraction: float
+
+    @classmethod
+    def from_runs(cls, metrics: Sequence[RunMetrics]) -> "AveragedMetrics":
+        """Average the derived metrics of several runs (plain mean)."""
+        if not metrics:
+            raise ExperimentError("cannot average zero runs")
+        count = len(metrics)
+
+        def mean(values: Sequence[float]) -> float:
+            return sum(values) / count
+
+        return cls(
+            runs=count,
+            throughput=mean([m.throughput for m in metrics]),
+            response_time=mean([m.response_time for m in metrics]),
+            blocking_ratio=mean([m.blocking_ratio for m in metrics]),
+            restart_ratio=mean([m.restart_ratio for m in metrics]),
+            cycle_check_ratio=mean([m.cycle_check_ratio for m in metrics]),
+            abort_length=mean([m.abort_length for m in metrics]),
+            completions=mean([float(m.completions) for m in metrics]),
+            pseudo_commit_fraction=mean(
+                [
+                    (m.pseudo_commits / m.completions) if m.completions else 0.0
+                    for m in metrics
+                ]
+            ),
+        )
+
+    def metric(self, name: str) -> float:
+        """Look a metric up by its report name."""
+        try:
+            return float(getattr(self, name))
+        except AttributeError:
+            raise ExperimentError(f"unknown metric {name!r}") from None
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one figure-style experiment."""
+
+    experiment_id: str
+    title: str
+    workload: str
+    base_params: SimulationParameters
+    mpl_levels: Sequence[int]
+    variants: Sequence[Variant]
+    #: Metric names (attributes of :class:`AveragedMetrics`) the report shows.
+    metrics: Sequence[str] = ("throughput",)
+    #: Number of independent runs (different seeds) per point.
+    runs: int = 1
+    #: Free-text description shown at the top of the report.
+    description: str = ""
+
+    def validate(self) -> None:
+        if not self.mpl_levels:
+            raise ExperimentError(f"{self.experiment_id}: no multiprogramming levels")
+        if not self.variants:
+            raise ExperimentError(f"{self.experiment_id}: no variants")
+        if self.runs <= 0:
+            raise ExperimentError(f"{self.experiment_id}: runs must be positive")
+        labels = [variant.label for variant in self.variants]
+        if len(labels) != len(set(labels)):
+            raise ExperimentError(f"{self.experiment_id}: duplicate variant labels")
+
+
+@dataclass
+class ExperimentResult:
+    """All points of one experiment, keyed by variant label and mpl level."""
+
+    spec: ExperimentSpec
+    points: Dict[str, Dict[int, AveragedMetrics]]
+
+    def series(self, variant_label: str, metric: str) -> List[Tuple[int, float]]:
+        """The (mpl, value) series of one variant for one metric."""
+        try:
+            per_level = self.points[variant_label]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.spec.experiment_id}: unknown variant {variant_label!r}"
+            ) from None
+        return [(level, per_level[level].metric(metric)) for level in sorted(per_level)]
+
+    def peak(self, variant_label: str, metric: str = "throughput") -> Tuple[int, float]:
+        """The (mpl, value) point where the metric peaks for a variant."""
+        series = self.series(variant_label, metric)
+        return max(series, key=lambda pair: pair[1])
+
+    def variant_labels(self) -> List[str]:
+        return [variant.label for variant in self.spec.variants]
+
+    def improvement(
+        self, better: str, baseline: str, metric: str = "throughput", mpl: Optional[int] = None
+    ) -> float:
+        """Relative improvement ``(better - baseline) / baseline`` at one mpl
+        level (default: the level where the baseline peaks)."""
+        if mpl is None:
+            mpl = self.peak(baseline, metric)[0]
+        better_value = dict(self.series(better, metric))[mpl]
+        baseline_value = dict(self.series(baseline, metric))[mpl]
+        if baseline_value == 0:
+            return 0.0
+        return (better_value - baseline_value) / baseline_value
+
+
+def run_experiment(spec: ExperimentSpec, progress: Optional[callable] = None) -> ExperimentResult:
+    """Execute every (variant, mpl, run) point of an experiment.
+
+    ``progress`` (if given) is called with a human-readable string after each
+    completed point; the benchmark harness uses it to stream status lines.
+    """
+    spec.validate()
+    points: Dict[str, Dict[int, AveragedMetrics]] = {}
+    for variant in spec.variants:
+        per_level: Dict[int, AveragedMetrics] = {}
+        for mpl_level in spec.mpl_levels:
+            run_results: List[RunMetrics] = []
+            for run_index in range(spec.runs):
+                params = spec.base_params.replace(
+                    mpl_level=mpl_level,
+                    seed=spec.base_params.seed + run_index,
+                    **dict(variant.overrides),
+                )
+                run_results.append(run_simulation(params, workload_kind=spec.workload))
+            per_level[mpl_level] = AveragedMetrics.from_runs(run_results)
+            if progress is not None:
+                progress(
+                    f"{spec.experiment_id} {variant.label} mpl={mpl_level} "
+                    f"throughput={per_level[mpl_level].throughput:.2f}"
+                )
+        points[variant.label] = per_level
+    return ExperimentResult(spec=spec, points=points)

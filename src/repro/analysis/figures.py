@@ -1,0 +1,389 @@
+"""Per-figure experiment definitions (Figures 4-18 of the paper).
+
+Each ``figure_N`` function returns the :class:`~repro.analysis.experiments.ExperimentSpec`
+that regenerates the corresponding figure's series.  The specs differ only in
+workload (read/write vs abstract data type), resource units, fairness, and the
+variants plotted, exactly as in Section 5.5.
+
+Every builder takes a :class:`ReproductionScale`, which controls how much
+simulated work each point performs:
+
+* ``SMOKE_SCALE`` — a few hundred completions, two mpl levels; used by tests;
+* ``BENCH_SCALE`` — the default for the benchmark harness: the full mpl sweep
+  at a run length that keeps the whole suite in the order of a minute;
+* ``PAPER_SCALE`` — the paper's own settings (50 000 completions per point,
+  10 runs, mpl 10-200); hours of simulation, provided for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.errors import ExperimentError
+from ..core.policy import ConflictPolicy
+from ..sim.params import SimulationParameters
+from .experiments import ExperimentSpec, Variant
+
+__all__ = [
+    "ReproductionScale",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "FIGURE_BUILDERS",
+    "figure_spec",
+    "all_figure_ids",
+]
+
+
+@dataclass(frozen=True)
+class ReproductionScale:
+    """How much work each experiment point performs."""
+
+    name: str
+    total_completions: int
+    runs: int
+    mpl_levels: Tuple[int, ...]
+    warmup_completions: int = 0
+
+
+#: Tiny scale used by the test-suite (seconds for the full figure set).
+SMOKE_SCALE = ReproductionScale(
+    name="smoke", total_completions=150, runs=1, mpl_levels=(10, 50)
+)
+#: Default scale of the benchmark harness.
+BENCH_SCALE = ReproductionScale(
+    name="bench", total_completions=400, runs=1, mpl_levels=(10, 25, 50, 100, 200)
+)
+#: The paper's own scale (Section 5.5: 50 000 completions, 10 runs).
+PAPER_SCALE = ReproductionScale(
+    name="paper",
+    total_completions=50_000,
+    runs=10,
+    mpl_levels=(10, 25, 50, 100, 150, 200),
+    warmup_completions=500,
+)
+
+
+# ----------------------------------------------------------------------
+# Shared building blocks
+# ----------------------------------------------------------------------
+_POLICY_VARIANTS: Tuple[Variant, ...] = (
+    Variant(label="commutativity", overrides={"policy": ConflictPolicy.COMMUTATIVITY}),
+    Variant(label="recoverability", overrides={"policy": ConflictPolicy.RECOVERABILITY}),
+)
+
+
+def _adt_variants(pc: int) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(label=f"Pc={pc},Pr={pr}", overrides={"pc": pc, "pr": pr})
+        for pr in (0, 4, 8)
+    )
+
+
+def _base_params(scale: ReproductionScale, **overrides: object) -> SimulationParameters:
+    params = SimulationParameters(
+        total_completions=scale.total_completions,
+        warmup_completions=scale.warmup_completions,
+    )
+    return params.replace(**overrides) if overrides else params
+
+
+def _rw_spec(
+    scale: ReproductionScale,
+    experiment_id: str,
+    title: str,
+    metrics: Sequence[str],
+    description: str,
+    **param_overrides: object,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        workload="readwrite",
+        base_params=_base_params(scale, **param_overrides),
+        mpl_levels=scale.mpl_levels,
+        variants=_POLICY_VARIANTS,
+        metrics=tuple(metrics),
+        runs=scale.runs,
+        description=description,
+    )
+
+
+def _adt_spec(
+    scale: ReproductionScale,
+    experiment_id: str,
+    title: str,
+    metrics: Sequence[str],
+    description: str,
+    pc: int,
+    **param_overrides: object,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        workload="adt",
+        base_params=_base_params(scale, policy=ConflictPolicy.RECOVERABILITY, **param_overrides),
+        mpl_levels=scale.mpl_levels,
+        variants=_adt_variants(pc),
+        metrics=tuple(metrics),
+        runs=scale.runs,
+        description=description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Read/write model (Figures 4-13)
+# ----------------------------------------------------------------------
+def figure_4(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput vs multiprogramming level; RW model, infinite resources."""
+    return _rw_spec(
+        scale,
+        "figure-4",
+        "Throughput (infinite resources, read/write model)",
+        ["throughput"],
+        "Recoverability should beat commutativity at every level, by roughly "
+        "two thirds at the commutativity peak, and degrade far less at high mpl.",
+    )
+
+
+def figure_5(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Response time vs mpl; RW model, infinite resources."""
+    return _rw_spec(
+        scale,
+        "figure-5",
+        "Response time (infinite resources, read/write model)",
+        ["response_time"],
+        "Response time first falls then rises with mpl; recoverability stays below "
+        "commutativity once data contention matters.",
+    )
+
+
+def figure_6(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Blocking and restart ratios; RW model, infinite resources."""
+    return _rw_spec(
+        scale,
+        "figure-6",
+        "Conflict ratios (infinite resources, read/write model)",
+        ["blocking_ratio", "restart_ratio"],
+        "Blocking ratio is lower under recoverability at every level; restart ratios "
+        "are comparable until thrashing, then lower under recoverability.",
+    )
+
+
+def figure_7(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Cycle-check ratio and abort length; RW model, infinite resources."""
+    return _rw_spec(
+        scale,
+        "figure-7",
+        "Cycle-check ratio and abort length (infinite resources, read/write model)",
+        ["cycle_check_ratio", "abort_length"],
+        "Recoverability performs more cycle checks (every recoverable execute needs "
+        "one); abort length falls once the system starts to thrash.",
+    )
+
+
+def _unfair_scale(scale: ReproductionScale) -> ReproductionScale:
+    """Cap the unfair-scheduling sweeps at mpl <= 50 below paper scale.
+
+    Without fairness, writers starve behind the read stream at very high
+    multiprogramming levels, which makes those points disproportionately
+    expensive to simulate (hundreds of blocks per completion).  The paper's
+    qualitative claim for Figures 8-9 — higher peaks and lower conflict ratios
+    than the fair-scheduling Figures 4 and 6 — is already visible at mpl <= 50,
+    so the reduced sweep is used unless the full paper scale is requested.
+    """
+    if scale.name == "paper":
+        return scale
+    capped = tuple(level for level in scale.mpl_levels if level <= 50)
+    return ReproductionScale(
+        name=scale.name,
+        total_completions=scale.total_completions,
+        runs=scale.runs,
+        mpl_levels=capped or scale.mpl_levels,
+        warmup_completions=scale.warmup_completions,
+    )
+
+
+def figure_8(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput without fair scheduling; RW model, infinite resources."""
+    return _rw_spec(
+        _unfair_scale(scale),
+        "figure-8",
+        "Throughput without fair scheduling (infinite resources, read/write model)",
+        ["throughput"],
+        "Without fairness, non-conflicting incoming requests overtake blocked ones; "
+        "peak throughput is higher than Figure 4 for both policies.",
+        fair_scheduling=False,
+    )
+
+
+def figure_9(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Conflict ratios without fair scheduling; RW model, infinite resources."""
+    return _rw_spec(
+        _unfair_scale(scale),
+        "figure-9",
+        "Conflict ratios without fair scheduling (infinite resources, read/write model)",
+        ["blocking_ratio", "restart_ratio"],
+        "Blocking and restart ratios are lower than under fair scheduling (Figure 6).",
+        fair_scheduling=False,
+    )
+
+
+def figure_10(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput with 5 resource units; RW model."""
+    return _rw_spec(
+        scale,
+        "figure-10",
+        "Throughput (5 resource units, read/write model)",
+        ["throughput"],
+        "Resource contention lowers the peak versus infinite resources and shrinks "
+        "the recoverability advantage to the order of 15 percent; commutativity "
+        "thrashes at a lower mpl.",
+        resource_units=5,
+    )
+
+
+def figure_11(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput with 1 resource unit; RW model."""
+    return _rw_spec(
+        scale,
+        "figure-11",
+        "Throughput (1 resource unit, read/write model)",
+        ["throughput"],
+        "With a single resource unit transactions queue for hardware, not data; "
+        "overall throughput is very low and the policies are nearly indistinguishable "
+        "until the system thrashes.",
+        resource_units=1,
+    )
+
+
+def figure_12(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Conflict ratios with 5 resource units; RW model."""
+    return _rw_spec(
+        scale,
+        "figure-12",
+        "Conflict ratios (5 resource units, read/write model)",
+        ["blocking_ratio", "restart_ratio"],
+        "Blocking ratio stays lower under recoverability, with the gap growing "
+        "with the multiprogramming level.",
+        resource_units=5,
+    )
+
+
+def figure_13(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Cycle-check ratio and abort length with 5 resource units; RW model."""
+    return _rw_spec(
+        scale,
+        "figure-13",
+        "Cycle-check ratio and abort length (5 resource units, read/write model)",
+        ["cycle_check_ratio", "abort_length"],
+        "Same qualitative behaviour as the infinite-resource case (Figure 7).",
+        resource_units=5,
+    )
+
+
+# ----------------------------------------------------------------------
+# Abstract-data-type model (Figures 14-18)
+# ----------------------------------------------------------------------
+def figure_14(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput; ADT model, infinite resources, Pc=4, Pr in {0, 4, 8}."""
+    return _adt_spec(
+        scale,
+        "figure-14",
+        "Throughput (infinite resources, ADT model, Pc=4)",
+        ["throughput"],
+        "More recoverable entries give higher throughput and delay thrashing; at "
+        "mpl=50 the Pr=8 curve should be roughly double the Pr=0 curve.",
+        pc=4,
+    )
+
+
+def figure_15(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput; ADT model, infinite resources, Pc=2, Pr in {0, 4, 8}."""
+    return _adt_spec(
+        scale,
+        "figure-15",
+        "Throughput (infinite resources, ADT model, Pc=2)",
+        ["throughput"],
+        "Pc=2, Pr=8 approximates a stack-like object; its peak throughput should be "
+        "about double the commutativity-only (Pr=0) curve.",
+        pc=2,
+    )
+
+
+def figure_16(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Conflict ratios; ADT model, infinite resources, Pc=4."""
+    return _adt_spec(
+        scale,
+        "figure-16",
+        "Conflict ratios (infinite resources, ADT model, Pc=4)",
+        ["blocking_ratio", "restart_ratio"],
+        "Blocking ratio grows with mpl but more slowly for larger Pr; restart ratios "
+        "are similar except at mpl=200 where larger Pr restarts less.",
+        pc=4,
+    )
+
+
+def figure_17(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput; ADT model, 5 resource units, Pc=4."""
+    return _adt_spec(
+        scale,
+        "figure-17",
+        "Throughput (5 resource units, ADT model, Pc=4)",
+        ["throughput"],
+        "Peaks are lower than with infinite resources; Pr=8 still clearly wins and "
+        "delays thrashing to a higher mpl.",
+        pc=4,
+        resource_units=5,
+    )
+
+
+def figure_18(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Throughput; ADT model, 1 resource unit, Pc=4."""
+    return _adt_spec(
+        scale,
+        "figure-18",
+        "Throughput (1 resource unit, ADT model, Pc=4)",
+        ["throughput"],
+        "With a single resource unit throughput is low for every Pr; recoverability "
+        "only helps visibly once the system thrashes.",
+        pc=4,
+        resource_units=1,
+    )
+
+
+#: Registry mapping experiment ids to builder functions.
+FIGURE_BUILDERS: Dict[str, Callable[[ReproductionScale], ExperimentSpec]] = {
+    "figure-4": figure_4,
+    "figure-5": figure_5,
+    "figure-6": figure_6,
+    "figure-7": figure_7,
+    "figure-8": figure_8,
+    "figure-9": figure_9,
+    "figure-10": figure_10,
+    "figure-11": figure_11,
+    "figure-12": figure_12,
+    "figure-13": figure_13,
+    "figure-14": figure_14,
+    "figure-15": figure_15,
+    "figure-16": figure_16,
+    "figure-17": figure_17,
+    "figure-18": figure_18,
+}
+
+
+def all_figure_ids() -> List[str]:
+    """Every figure id, in paper order."""
+    return list(FIGURE_BUILDERS)
+
+
+def figure_spec(experiment_id: str, scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Look a figure's spec up by id (e.g. ``"figure-4"``)."""
+    try:
+        builder = FIGURE_BUILDERS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(FIGURE_BUILDERS)}"
+        ) from None
+    return builder(scale)

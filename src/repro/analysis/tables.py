@@ -1,0 +1,168 @@
+"""Reproduction of the paper's compatibility tables (Tables I-VIII) and the
+parameter tables (Tables IX-X).
+
+Tables I-VIII are not measurements: they are statements about the semantics of
+the four example data types.  This module regenerates each of them two ways —
+
+* the **declared** tables shipped with the ADT implementations (typed in from
+  the paper), and
+* the **derived** tables computed from the executable specifications by
+  :mod:`repro.core.derivation` —
+
+and reports, entry by entry, whether the declared entry is sound with respect
+to the semantics and whether the two agree exactly.  The handful of places
+where the derived table is strictly *more* permissive than the paper's
+(e.g. two writes of the same value commute) are reported as such rather than
+as errors.
+
+Tables IX and X are simply the parameter schema and its nominal values, which
+live in :class:`~repro.sim.params.SimulationParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..adts import get_type, paper_types
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.derivation import derive_compatibility
+from ..sim.params import SimulationParameters
+
+__all__ = [
+    "TableComparison",
+    "TableReport",
+    "compare_tables",
+    "paper_table_reports",
+    "PAPER_TABLE_NUMBERS",
+    "parameter_table",
+]
+
+#: Which paper table numbers correspond to which bundled data type.
+PAPER_TABLE_NUMBERS: Dict[str, Tuple[str, str]] = {
+    "page": ("Table I", "Table II"),
+    "stack": ("Table III", "Table IV"),
+    "set": ("Table V", "Table VI"),
+    "table": ("Table VII", "Table VIII"),
+}
+
+
+@dataclass(frozen=True)
+class TableComparison:
+    """Comparison of one declared table entry with its derived counterpart."""
+
+    relation: str
+    requested: str
+    executed: str
+    declared: Answer
+    derived: Answer
+
+    @property
+    def agrees(self) -> bool:
+        """True when the declared and derived entries are identical."""
+        return self.declared is self.derived
+
+    @property
+    def declared_is_sound(self) -> bool:
+        """True when the declared entry admits no pair the semantics rejects."""
+        return self.declared.implies(self.derived)
+
+
+@dataclass
+class TableReport:
+    """Full regeneration of one data type's pair of tables."""
+
+    type_name: str
+    commutativity_table_name: str
+    recoverability_table_name: str
+    declared: CompatibilitySpec
+    derived: CompatibilitySpec
+    comparisons: List[TableComparison]
+
+    @property
+    def all_sound(self) -> bool:
+        return all(comparison.declared_is_sound for comparison in self.comparisons)
+
+    @property
+    def exact_matches(self) -> int:
+        return sum(1 for comparison in self.comparisons if comparison.agrees)
+
+    @property
+    def refinements(self) -> List[TableComparison]:
+        """Entries where derivation is strictly more permissive than the paper."""
+        return [c for c in self.comparisons if c.declared_is_sound and not c.agrees]
+
+    def render(self) -> str:
+        """Text rendering: declared tables, derived tables, and the diff."""
+        lines = [
+            f"=== {self.type_name} "
+            f"({self.commutativity_table_name} / {self.recoverability_table_name}) ===",
+            "",
+            "Declared (as published):",
+            self.declared.render(),
+            "",
+            "Derived from the executable specification:",
+            self.derived.render(),
+            "",
+            f"entries: {len(self.comparisons)}, exact matches: {self.exact_matches}, "
+            f"sound: {self.all_sound}",
+        ]
+        refinements = self.refinements
+        if refinements:
+            lines.append("derivation is finer for:")
+            for comparison in refinements:
+                lines.append(
+                    f"  {comparison.relation}({comparison.requested}, {comparison.executed}): "
+                    f"declared {comparison.declared}, derived {comparison.derived}"
+                )
+        return "\n".join(lines)
+
+
+def compare_tables(type_name: str) -> TableReport:
+    """Regenerate and compare the declared and derived tables of one type."""
+    spec = get_type(type_name)
+    declared = spec.compatibility()
+    derived = derive_compatibility(spec)
+    comparisons: List[TableComparison] = []
+    for relation, declared_table, derived_table in (
+        ("commutativity", declared.commutativity, derived.commutativity),
+        ("recoverability", declared.recoverability, derived.recoverability),
+    ):
+        for requested in declared.operations:
+            for executed in declared.operations:
+                comparisons.append(
+                    TableComparison(
+                        relation=relation,
+                        requested=requested,
+                        executed=executed,
+                        declared=declared_table.answer(requested, executed),
+                        derived=derived_table.answer(requested, executed),
+                    )
+                )
+    commutativity_name, recoverability_name = PAPER_TABLE_NUMBERS.get(
+        type_name, ("commutativity", "recoverability")
+    )
+    return TableReport(
+        type_name=type_name,
+        commutativity_table_name=commutativity_name,
+        recoverability_table_name=recoverability_name,
+        declared=declared,
+        derived=derived,
+        comparisons=comparisons,
+    )
+
+
+def paper_table_reports() -> List[TableReport]:
+    """Reports for the four data types of Tables I-VIII, in paper order."""
+    return [compare_tables(type_name) for type_name in paper_types()]
+
+
+def parameter_table() -> str:
+    """Render Tables IX-X: every simulation parameter and its nominal value."""
+    params = SimulationParameters()
+    description = params.describe()
+    width = max(len(key) for key in description) + 2
+    lines = ["Simulation parameters (Tables IX-X nominal values)", "-" * 52]
+    for key in sorted(description):
+        lines.append(f"{key.ljust(width)}{description[key]}")
+    return "\n".join(lines)

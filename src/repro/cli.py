@@ -1,0 +1,152 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the experiment harness without writing any Python:
+
+``python -m repro list``
+    list every reproducible experiment (figures and tables);
+``python -m repro tables [--type stack]``
+    regenerate the compatibility tables (Tables I-VIII) and the parameter
+    table (Tables IX-X), comparing declared and derived entries;
+``python -m repro figure figure-4 [--scale smoke|bench|paper] [--output DIR]``
+    run one figure's experiment and print (and optionally save) the
+    paper-style series and summary;
+``python -m repro simulate [--mpl 50 --policy recoverability ...]``
+    run a single simulation point and print its metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    all_figure_ids,
+    compare_tables,
+    figure_spec,
+    parameter_table,
+    render_result,
+    run_experiment,
+)
+from .adts import paper_types
+from .core.policy import ConflictPolicy
+from .sim.params import SimulationParameters
+from .sim.simulator import run_simulation
+
+_SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+_POLICIES = {policy.value: policy for policy in ConflictPolicy}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Semantics-Based Concurrency Control: Beyond Commutativity'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible experiments")
+
+    tables = subparsers.add_parser("tables", help="regenerate Tables I-X")
+    tables.add_argument(
+        "--type",
+        dest="type_name",
+        choices=paper_types(),
+        default=None,
+        help="restrict to one data type (default: all four)",
+    )
+
+    figure = subparsers.add_parser("figure", help="run one figure's experiment")
+    figure.add_argument("figure_id", choices=all_figure_ids())
+    figure.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    figure.add_argument("--output", type=pathlib.Path, default=None,
+                        help="directory to save the report into")
+
+    simulate = subparsers.add_parser("simulate", help="run a single simulation point")
+    simulate.add_argument("--workload", choices=["readwrite", "adt"], default="readwrite")
+    simulate.add_argument("--policy", choices=sorted(_POLICIES), default="recoverability")
+    simulate.add_argument("--mpl", type=int, default=50)
+    simulate.add_argument("--completions", type=int, default=500)
+    simulate.add_argument("--database-size", type=int, default=1000)
+    simulate.add_argument("--resource-units", type=int, default=None,
+                          help="number of resource units (omit for infinite)")
+    simulate.add_argument("--write-probability", type=float, default=0.3)
+    simulate.add_argument("--pc", type=int, default=4)
+    simulate.add_argument("--pr", type=int, default=4)
+    simulate.add_argument("--unfair", action="store_true",
+                          help="disable fair scheduling at the object managers")
+    simulate.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _command_list(out) -> int:
+    out.write("figures:\n")
+    for figure_id in all_figure_ids():
+        spec = figure_spec(figure_id, SMOKE_SCALE)
+        out.write(f"  {figure_id:10s} {spec.title}\n")
+    out.write("tables:\n")
+    for type_name in paper_types():
+        out.write(f"  tables ({type_name})\n")
+    out.write("  tables (parameters)\n")
+    return 0
+
+
+def _command_tables(type_name: Optional[str], out) -> int:
+    names = [type_name] if type_name else paper_types()
+    for name in names:
+        out.write(compare_tables(name).render() + "\n\n")
+    if type_name is None:
+        out.write(parameter_table() + "\n")
+    return 0
+
+
+def _command_figure(figure_id: str, scale_name: str, output: Optional[pathlib.Path], out) -> int:
+    spec = figure_spec(figure_id, _SCALES[scale_name])
+    result = run_experiment(spec, progress=lambda line: out.write("  " + line + "\n"))
+    report = render_result(result)
+    out.write(report + "\n")
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{figure_id}.txt").write_text(report + "\n")
+    return 0
+
+
+def _command_simulate(arguments, out) -> int:
+    params = SimulationParameters(
+        database_size=arguments.database_size,
+        mpl_level=arguments.mpl,
+        total_completions=arguments.completions,
+        policy=_POLICIES[arguments.policy],
+        resource_units=arguments.resource_units,
+        write_probability=arguments.write_probability,
+        pc=arguments.pc,
+        pr=arguments.pr,
+        fair_scheduling=not arguments.unfair,
+        seed=arguments.seed,
+    )
+    metrics = run_simulation(params, workload_kind=arguments.workload)
+    for key, value in metrics.as_dict().items():
+        out.write(f"{key:20s} {value:.4f}\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return _command_list(out)
+    if arguments.command == "tables":
+        return _command_tables(arguments.type_name, out)
+    if arguments.command == "figure":
+        return _command_figure(arguments.figure_id, arguments.scale, arguments.output, out)
+    if arguments.command == "simulate":
+        return _command_simulate(arguments, out)
+    return 2  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

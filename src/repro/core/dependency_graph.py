@@ -1,0 +1,260 @@
+"""The unified dependency graph: wait-for edges plus commit-dependency edges.
+
+Section 4.2 of the paper combines deadlock detection and commit-dependency
+cycle detection in a single graph.  Nodes are active transactions; an edge
+``T_i -> T_j`` means *T_i cannot commit (or proceed) until T_j terminates*:
+
+* a **wait-for** edge is added when ``T_i`` requests an operation that is not
+  recoverable relative to an uncommitted operation of ``T_j`` — ``T_i`` blocks;
+* a **commit-dependency** edge is added when ``T_i`` executes an operation that
+  is recoverable (but not commutative) relative to an uncommitted operation of
+  ``T_j`` — ``T_i`` may run now but must commit after ``T_j``.
+
+A cycle (which may mix both edge kinds) would make the execution
+unserializable or deadlocked, so the transaction whose request would close the
+cycle is aborted.  Because both readings point "towards the transaction that
+must terminate first", the commit rule for pseudo-committed transactions is
+simply: a pseudo-committed transaction whose node has **out-degree zero** has
+no one left to wait for and can be durably committed (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["EdgeKind", "Edge", "DependencyGraph"]
+
+
+class EdgeKind(enum.Enum):
+    """The two kinds of edges in the unified dependency graph."""
+
+    WAIT_FOR = "wait-for"
+    COMMIT_DEPENDENCY = "commit-dependency"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``source -> target`` of a given kind."""
+
+    source: int
+    target: int
+    kind: EdgeKind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"T{self.source} -[{self.kind.value}]-> T{self.target}"
+
+
+class DependencyGraph:
+    """Directed multigraph over transaction ids with typed edges.
+
+    The graph is intentionally small (one node per active transaction) and the
+    operations the scheduler needs — add edges, test for a cycle through a
+    given node, drop a node, find nodes whose out-degree became zero — are all
+    O(nodes + edges) or better.
+    """
+
+    def __init__(self) -> None:
+        # successors[node][target] -> set of edge kinds
+        self._successors: Dict[int, Dict[int, Set[EdgeKind]]] = {}
+        self._predecessors: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        """Ensure ``node`` exists (idempotent)."""
+        self._successors.setdefault(node, {})
+        self._predecessors.setdefault(node, set())
+
+    def has_node(self, node: int) -> bool:
+        return node in self._successors
+
+    def nodes(self) -> Set[int]:
+        return set(self._successors)
+
+    def remove_node(self, node: int) -> Set[int]:
+        """Remove ``node`` and every edge touching it.
+
+        Returns the set of former predecessors — the transactions that were
+        waiting on (or commit-dependent on) the removed one.  The caller uses
+        this to find pseudo-committed transactions that may now commit and
+        blocked transactions that should be retried.
+        """
+        if node not in self._successors:
+            return set()
+        for target in list(self._successors[node]):
+            self._predecessors[target].discard(node)
+        former_predecessors = set(self._predecessors.get(node, ()))
+        for predecessor in former_predecessors:
+            self._successors[predecessor].pop(node, None)
+        del self._successors[node]
+        del self._predecessors[node]
+        return former_predecessors
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, source: int, target: int, kind: EdgeKind) -> None:
+        """Add a typed edge; self-loops are ignored (a transaction never
+        depends on itself)."""
+        if source == target:
+            return
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source].setdefault(target, set()).add(kind)
+        self._predecessors[target].add(source)
+
+    def add_edges(self, source: int, targets: Iterable[int], kind: EdgeKind) -> None:
+        """Add edges from ``source`` to every node in ``targets``."""
+        for target in targets:
+            self.add_edge(source, target, kind)
+
+    def remove_edges_from(self, source: int, kind: Optional[EdgeKind] = None) -> None:
+        """Remove all outgoing edges of ``source`` (of one kind, or of any kind).
+
+        Used when a blocked transaction's request is finally granted: its
+        wait-for edges are stale and must not linger (they would cause
+        spurious deadlock aborts later).
+        """
+        if source not in self._successors:
+            return
+        for target in list(self._successors[source]):
+            kinds = self._successors[source][target]
+            if kind is None:
+                kinds.clear()
+            else:
+                kinds.discard(kind)
+            if not kinds:
+                del self._successors[source][target]
+                self._predecessors[target].discard(source)
+
+    def has_edge(self, source: int, target: int, kind: Optional[EdgeKind] = None) -> bool:
+        kinds = self._successors.get(source, {}).get(target)
+        if not kinds:
+            return False
+        return kind is None or kind in kinds
+
+    def edges(self) -> List[Edge]:
+        """All edges, one :class:`Edge` per (source, target, kind) triple."""
+        result: List[Edge] = []
+        for source, targets in self._successors.items():
+            for target, kinds in targets.items():
+                for kind in kinds:
+                    result.append(Edge(source, target, kind))
+        return result
+
+    def successors(self, node: int) -> Set[int]:
+        return set(self._successors.get(node, ()))
+
+    def predecessors(self, node: int) -> Set[int]:
+        return set(self._predecessors.get(node, ()))
+
+    def out_degree(self, node: int, kind: Optional[EdgeKind] = None) -> int:
+        """Number of distinct successor nodes (optionally of one edge kind)."""
+        targets = self._successors.get(node, {})
+        if kind is None:
+            return len(targets)
+        return sum(1 for kinds in targets.values() if kind in kinds)
+
+    def edge_count(self, kind: Optional[EdgeKind] = None) -> int:
+        """Number of typed edges (a pair linked by both kinds counts twice)."""
+        return sum(
+            len(kinds) if kind is None else (1 if kind in kinds else 0)
+            for targets in self._successors.values()
+            for kinds in targets.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Cycle detection
+    # ------------------------------------------------------------------
+    def reachable(self, start: int, goal: int) -> bool:
+        """True if ``goal`` can be reached from ``start`` following edges."""
+        if start not in self._successors or goal not in self._successors:
+            return False
+        stack = [start]
+        seen: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._successors.get(node, ()))
+        return False
+
+    def creates_cycle(self, source: int, targets: Iterable[int]) -> bool:
+        """Would adding edges ``source -> t`` for each target close a cycle?
+
+        The new edges close a cycle exactly when ``source`` is already
+        reachable from one of the targets (including the degenerate
+        ``target == source`` case, which the scheduler filters out earlier).
+        """
+        for target in targets:
+            if target == source:
+                continue
+            if self.reachable(target, source):
+                return True
+        return False
+
+    def has_cycle(self) -> bool:
+        """Full-graph cycle test (used by tests and the offline checkers)."""
+        return self.find_cycle() is not None
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """Return one cycle as a list of nodes, or ``None`` if acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[int, int] = {node: WHITE for node in self._successors}
+        parent: Dict[int, Optional[int]] = {}
+
+        def visit(root: int) -> Optional[List[int]]:
+            stack: List[Tuple[int, Iterable[int]]] = [(root, iter(self._successors[root]))]
+            colour[root] = GREY
+            parent[root] = None
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if colour[child] == GREY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [child, node]
+                        walk = parent.get(node)
+                        while walk is not None and walk != child:
+                            cycle.append(walk)
+                            walk = parent.get(walk)
+                        cycle.reverse()
+                        return cycle
+                    if colour[child] == WHITE:
+                        colour[child] = GREY
+                        parent[child] = node
+                        stack.append((child, iter(self._successors[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+            return None
+
+        for node in self._successors:
+            if colour[node] == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def zero_out_degree_nodes(self, candidates: Optional[Iterable[int]] = None) -> Set[int]:
+        """Nodes with no outgoing edges (restricted to ``candidates`` if given)."""
+        pool = self.nodes() if candidates is None else set(candidates) & self.nodes()
+        return {node for node in pool if self.out_degree(node) == 0}
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DependencyGraph nodes={len(self)} "
+            f"wait_for={self.edge_count(EdgeKind.WAIT_FOR)} "
+            f"commit_dep={self.edge_count(EdgeKind.COMMIT_DEPENDENCY)}>"
+        )

@@ -1,0 +1,286 @@
+"""Derivation of compatibility tables from executable type specifications.
+
+Section 3.2 of the paper notes that the compatibility table of an object "can
+be derived from the semantics of the operations on an object".  This module
+does exactly that: it evaluates Definition 1 (recoverability) and Definition 2
+(commutativity) by enumeration over the type's *sample* states and *sample*
+invocations, and folds the per-pair results into the paper's qualified
+``Yes`` / ``Yes-SP`` / ``Yes-DP`` / ``No`` entries.
+
+The derived tables serve three purposes:
+
+* they regenerate Tables I-VIII of the paper directly from the ADT code
+  (see ``benchmarks/test_tables_*.py``);
+* they let the test suite check that every *declared* table shipped with an
+  ADT is sound — it never claims a pair commutative or recoverable when the
+  executable semantics says otherwise (:func:`check_declared_sound`);
+* they allow new user-defined types to be used with the scheduler without
+  hand-writing tables at all.
+
+Because the check is by enumeration it is exact only with respect to the
+sample space the type advertises.  The bundled ADTs choose samples rich enough
+to expose every counterexample the paper relies on (empty containers,
+duplicate elements, present and absent keys, and so on), and the property
+tests in ``tests/test_derivation_properties.py`` cross-validate the derived
+entries against randomly generated states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .compatibility import Answer, CompatibilitySpec, RelationTable
+from .errors import SpecificationError
+from .specification import Invocation, TypeSpecification
+
+__all__ = [
+    "invocations_commute",
+    "invocation_recoverable",
+    "derive_commutativity_answer",
+    "derive_recoverability_answer",
+    "derive_commutativity_table",
+    "derive_recoverability_table",
+    "derive_compatibility",
+    "SoundnessViolation",
+    "check_declared_sound",
+]
+
+
+# ----------------------------------------------------------------------
+# Point-wise checks on concrete invocations
+# ----------------------------------------------------------------------
+def invocations_commute(
+    spec: TypeSpecification,
+    first: Invocation,
+    second: Invocation,
+    states: Optional[Sequence[object]] = None,
+) -> bool:
+    """Check Definition 2 for two concrete invocations over ``states``.
+
+    ``first`` and ``second`` commute iff for every sample state ``s`` the two
+    execution orders produce the same final state *and* each operation returns
+    the same value in both orders.
+    """
+    states = list(states) if states is not None else list(spec.sample_states())
+    for state in states:
+        first_then_second = spec.apply(state, first)
+        second_then_first = spec.apply(state, second)
+        state_fs = spec.next_state(first_then_second.state, second)
+        state_sf = spec.next_state(second_then_first.state, first)
+        if not spec.states_equal(state_fs, state_sf):
+            return False
+        # return(first, s) must equal return(first, state(second, s))
+        if first_then_second.value != spec.return_value(second_then_first.state, first):
+            return False
+        # return(second, s) must equal return(second, state(first, s))
+        if second_then_first.value != spec.return_value(first_then_second.state, second):
+            return False
+    return True
+
+
+def invocation_recoverable(
+    spec: TypeSpecification,
+    requested: Invocation,
+    executed: Invocation,
+    states: Optional[Sequence[object]] = None,
+) -> bool:
+    """Check Definition 1: is ``requested`` recoverable relative to ``executed``?
+
+    True iff for every sample state ``s``::
+
+        return(requested, state(executed, s)) == return(requested, s)
+    """
+    states = list(states) if states is not None else list(spec.sample_states())
+    for state in states:
+        after_executed = spec.next_state(state, executed)
+        if spec.return_value(after_executed, requested) != spec.return_value(state, requested):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Folding concrete pairs into qualified table entries
+# ----------------------------------------------------------------------
+def _partition_pairs(
+    spec: TypeSpecification, requested_op: str, executed_op: str
+) -> Tuple[List[Tuple[Invocation, Invocation]], List[Tuple[Invocation, Invocation]]]:
+    """Split sample invocation pairs into same-parameter and different-parameter."""
+    same: List[Tuple[Invocation, Invocation]] = []
+    different: List[Tuple[Invocation, Invocation]] = []
+    requested_samples = list(spec.sample_invocations(requested_op))
+    executed_samples = list(spec.sample_invocations(executed_op))
+    if not requested_samples or not executed_samples:
+        raise SpecificationError(
+            f"type {spec.name!r} provides no sample invocations for "
+            f"({requested_op!r}, {executed_op!r})"
+        )
+    for requested, executed in itertools.product(requested_samples, executed_samples):
+        if spec.conflict_parameter(requested) == spec.conflict_parameter(executed):
+            same.append((requested, executed))
+        else:
+            different.append((requested, executed))
+    return same, different
+
+
+def _fold_answer(same_ok: Optional[bool], diff_ok: Optional[bool]) -> Answer:
+    """Combine group verdicts into a qualified answer.
+
+    ``None`` means the group was empty (no sample pairs of that kind), in
+    which case the other group alone decides and the result is an
+    unconditional ``Yes``/``No`` — e.g. two parameterless reads can only ever
+    carry the "same" (empty) parameter, so their entry is plain ``Yes`` rather
+    than ``Yes-SP``.
+    """
+    if same_ok is None and diff_ok is None:
+        return Answer.NO
+    if same_ok is None:
+        return Answer.YES if diff_ok else Answer.NO
+    if diff_ok is None:
+        return Answer.YES if same_ok else Answer.NO
+    if same_ok and diff_ok:
+        return Answer.YES
+    if same_ok:
+        return Answer.YES_SP
+    if diff_ok:
+        return Answer.YES_DP
+    return Answer.NO
+
+
+def derive_commutativity_answer(
+    spec: TypeSpecification, requested_op: str, executed_op: str
+) -> Answer:
+    """Derive the commutativity table entry for a pair of operation names."""
+    same, different = _partition_pairs(spec, requested_op, executed_op)
+    states = list(spec.sample_states())
+    same_ok = (
+        all(invocations_commute(spec, r, e, states) for r, e in same) if same else None
+    )
+    diff_ok = (
+        all(invocations_commute(spec, r, e, states) for r, e in different)
+        if different
+        else None
+    )
+    return _fold_answer(same_ok, diff_ok)
+
+
+def derive_recoverability_answer(
+    spec: TypeSpecification, requested_op: str, executed_op: str
+) -> Answer:
+    """Derive the recoverability table entry for a pair of operation names."""
+    same, different = _partition_pairs(spec, requested_op, executed_op)
+    states = list(spec.sample_states())
+    same_ok = (
+        all(invocation_recoverable(spec, r, e, states) for r, e in same) if same else None
+    )
+    diff_ok = (
+        all(invocation_recoverable(spec, r, e, states) for r, e in different)
+        if different
+        else None
+    )
+    return _fold_answer(same_ok, diff_ok)
+
+
+def derive_commutativity_table(spec: TypeSpecification) -> RelationTable:
+    """Derive the full commutativity table of a type by enumeration."""
+    operations = spec.operation_names()
+    entries: Dict[Tuple[str, str], Answer] = {}
+    for requested in operations:
+        for executed in operations:
+            entries[(requested, executed)] = derive_commutativity_answer(
+                spec, requested, executed
+            )
+    return RelationTable(
+        name=f"derived commutativity for {spec.name}",
+        operations=operations,
+        entries=entries,
+    )
+
+
+def derive_recoverability_table(spec: TypeSpecification) -> RelationTable:
+    """Derive the full recoverability table of a type by enumeration."""
+    operations = spec.operation_names()
+    entries: Dict[Tuple[str, str], Answer] = {}
+    for requested in operations:
+        for executed in operations:
+            entries[(requested, executed)] = derive_recoverability_answer(
+                spec, requested, executed
+            )
+    return RelationTable(
+        name=f"derived recoverability for {spec.name}",
+        operations=operations,
+        entries=entries,
+    )
+
+
+def derive_compatibility(spec: TypeSpecification) -> CompatibilitySpec:
+    """Derive both tables of a type and package them as a :class:`CompatibilitySpec`."""
+    return CompatibilitySpec(
+        type_name=spec.name,
+        commutativity=derive_commutativity_table(spec),
+        recoverability=derive_recoverability_table(spec),
+    )
+
+
+# ----------------------------------------------------------------------
+# Soundness of declared tables
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoundnessViolation:
+    """A declared table entry that admits a pair the semantics rejects."""
+
+    table: str
+    requested: str
+    executed: str
+    declared: Answer
+    derived: Answer
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.table}: ({self.requested}, {self.executed}) declared "
+            f"{self.declared} but derivation finds {self.derived}"
+        )
+
+
+def check_declared_sound(
+    spec: TypeSpecification, declared: Optional[CompatibilitySpec] = None
+) -> List[SoundnessViolation]:
+    """Check that declared tables never claim more than the semantics allows.
+
+    A declared entry is *sound* when every invocation pair it admits is also
+    admitted by the derived entry (``declared.implies(derived)``).  The
+    converse need not hold: the paper's tables are deliberately coarse in a
+    few places (for instance Table I marks ``(write, write)`` as
+    non-commutative even though two writes of the same value commute), so the
+    derived table may be strictly more permissive.
+    """
+    declared = declared if declared is not None else spec.compatibility()
+    derived = derive_compatibility(spec)
+    violations: List[SoundnessViolation] = []
+    for requested in declared.operations:
+        for executed in declared.operations:
+            pairs = (
+                (
+                    "commutativity",
+                    declared.commutativity.answer(requested, executed),
+                    derived.commutativity.answer(requested, executed),
+                ),
+                (
+                    "recoverability",
+                    declared.recoverability.answer(requested, executed),
+                    derived.recoverability.answer(requested, executed),
+                ),
+            )
+            for table_name, declared_answer, derived_answer in pairs:
+                if not declared_answer.implies(derived_answer):
+                    violations.append(
+                        SoundnessViolation(
+                            table=f"{spec.name} {table_name}",
+                            requested=requested,
+                            executed=executed,
+                            declared=declared_answer,
+                            derived=derived_answer,
+                        )
+                    )
+    return violations

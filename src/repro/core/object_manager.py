@@ -1,0 +1,244 @@
+"""Per-object managers: execution logs, conflict classification, and state.
+
+The paper assumes "the existence of an object manager for each object" that
+"maintains an execution log of uncommitted operations on that object" and
+uses the compatibility table to decide, at run time, how a requested operation
+relates to the uncommitted operations already executed (Section 4).
+
+This module implements that manager.  State handling follows the paper's own
+abort semantics (Definition 4): the *committed* state of the object is kept
+separately from the log of uncommitted operations, and the visible state is
+the committed state with all uncommitted operations replayed over it.  Undoing
+a transaction is then literally "its operations are deleted from the log" —
+the visible state is recomputed from what remains, which is correct for any
+sound log and needs no type-specific undo code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .compatibility import CompatibilitySpec, ConflictClass
+from .errors import SpecificationError
+from .policy import ConflictPolicy, effective_class
+from .specification import Event, Invocation, TypeSpecification
+
+__all__ = ["PendingRequest", "Classification", "ObjectManager"]
+
+
+@dataclass
+class PendingRequest:
+    """A blocked operation request queued at an object manager.
+
+    ``payload`` is opaque to the manager; the scheduler stores its
+    :class:`~repro.core.scheduler.RequestHandle` there so it can publish the
+    result when the request is eventually granted.
+    """
+
+    transaction_id: int
+    invocation: Invocation
+    payload: Any = None
+
+
+@dataclass
+class Classification:
+    """Outcome of classifying a request against the uncommitted operations.
+
+    ``conflicting`` and ``recoverable`` are sets of transaction ids: the
+    still-live transactions whose uncommitted operations the request does not
+    commute with.  A transaction appears in ``conflicting`` if *any* of its
+    operations is a (policy-effective) conflict with the request, otherwise in
+    ``recoverable`` if any of its operations requires a commit dependency.
+    Transactions all of whose operations commute with the request appear in
+    neither set.
+    """
+
+    conflicting: Set[int] = field(default_factory=set)
+    recoverable: Set[int] = field(default_factory=set)
+
+    @property
+    def admissible(self) -> bool:
+        """True when the request can execute right away (possibly with
+        commit dependencies)."""
+        return not self.conflicting
+
+    @property
+    def is_commutative(self) -> bool:
+        """True when the request commutes with every uncommitted operation."""
+        return not self.conflicting and not self.recoverable
+
+
+class ObjectManager:
+    """Manager of a single shared object.
+
+    Parameters
+    ----------
+    name:
+        The object's name (unique within a scheduler).
+    spec:
+        The object's :class:`~repro.core.specification.TypeSpecification`.
+    compatibility:
+        The compatibility tables to use.  Defaults to the type's declared
+        tables; the simulation workloads pass randomly generated tables here.
+    initial_state:
+        Starting committed state; defaults to ``spec.initial_state()``.
+    materialize_state:
+        When ``False`` the manager skips applying operations to real states
+        and records ``None`` return values.  The simulator uses this for the
+        abstract-data-type workload, whose operations have no executable
+        semantics (their behaviour is fully described by the random table).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: TypeSpecification,
+        compatibility: Optional[CompatibilitySpec] = None,
+        initial_state: Any = None,
+        materialize_state: bool = True,
+    ):
+        self.name = name
+        self.spec = spec
+        self.compatibility = compatibility if compatibility is not None else spec.compatibility()
+        self.materialize_state = materialize_state
+        self.committed_state: Any = (
+            spec.initial_state() if initial_state is None else initial_state
+        )
+        self.current_state: Any = self.committed_state
+        #: Uncommitted operations, in execution order.  Operations of
+        #: pseudo-committed transactions stay here until the durable commit.
+        self.uncommitted: List[Event] = []
+        #: FIFO queue of blocked requests.
+        self.blocked: List[PendingRequest] = []
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify_pair(
+        self, requested: Invocation, executed: Invocation, policy: ConflictPolicy
+    ) -> ConflictClass:
+        """Classify one requested/executed invocation pair under ``policy``."""
+        pairwise = self.compatibility.classify(requested, executed, self.spec)
+        return effective_class(policy, pairwise)
+
+    def classify_request(
+        self, invocation: Invocation, transaction_id: int, policy: ConflictPolicy
+    ) -> Classification:
+        """Classify a request against every uncommitted operation of *other*
+        transactions (a transaction never conflicts with itself)."""
+        result = Classification()
+        for event in self.uncommitted:
+            if event.transaction_id == transaction_id:
+                continue
+            pairwise = self.classify_pair(invocation, event.invocation, policy)
+            if pairwise is ConflictClass.CONFLICT:
+                result.conflicting.add(event.transaction_id)
+                result.recoverable.discard(event.transaction_id)
+            elif pairwise is ConflictClass.RECOVERABLE:
+                if event.transaction_id not in result.conflicting:
+                    result.recoverable.add(event.transaction_id)
+        return result
+
+    def blocked_conflicts(
+        self,
+        invocation: Invocation,
+        transaction_id: int,
+        policy: ConflictPolicy,
+        upto: Optional[int] = None,
+    ) -> Set[int]:
+        """Owners of *blocked* requests the invocation conflicts with.
+
+        Used by fair scheduling: an incoming request must not overtake a
+        blocked request it conflicts with.  ``upto`` restricts the check to
+        the first ``upto`` queue entries (used when re-examining the queue
+        itself, where only requests *ahead* of the candidate matter).
+        """
+        owners: Set[int] = set()
+        queue = self.blocked if upto is None else self.blocked[:upto]
+        for pending in queue:
+            if pending.transaction_id == transaction_id:
+                continue
+            if self.classify_pair(invocation, pending.invocation, policy) is ConflictClass.CONFLICT:
+                owners.add(pending.transaction_id)
+        return owners
+
+    # ------------------------------------------------------------------
+    # Execution and the uncommitted log
+    # ------------------------------------------------------------------
+    def execute(self, invocation: Invocation, transaction_id: int, sequence: int) -> Event:
+        """Execute an admitted invocation against the visible state.
+
+        Returns the resulting :class:`Event` (already appended to the
+        manager's uncommitted log).
+        """
+        if self.materialize_state:
+            result = self.spec.apply(self.current_state, invocation)
+            self.current_state = result.state
+            value = result.value
+        else:
+            value = None
+        event = Event(
+            object_name=self.name,
+            invocation=invocation,
+            value=value,
+            transaction_id=transaction_id,
+            sequence=sequence,
+        )
+        self.uncommitted.append(event)
+        return event
+
+    def live_transactions(self) -> Set[int]:
+        """Transactions with at least one uncommitted operation here."""
+        return {event.transaction_id for event in self.uncommitted}
+
+    def events_of(self, transaction_id: int) -> List[Event]:
+        """Uncommitted events of one transaction, in execution order."""
+        return [e for e in self.uncommitted if e.transaction_id == transaction_id]
+
+    def remove_transaction(self, transaction_id: int, commit: bool) -> List[Event]:
+        """Remove a transaction's operations from the uncommitted log.
+
+        On *commit* the operations are folded into the committed state (in
+        their original execution order); on *abort* they are simply dropped.
+        Either way the visible state is recomputed by replaying the surviving
+        uncommitted operations over the committed state — the paper's
+        ``E || A_j`` semantics.
+        """
+        removed = self.events_of(transaction_id)
+        if not removed:
+            return removed
+        if commit and self.materialize_state:
+            state = self.committed_state
+            for event in removed:
+                state = self.spec.next_state(state, event.invocation)
+            self.committed_state = state
+        self.uncommitted = [
+            e for e in self.uncommitted if e.transaction_id != transaction_id
+        ]
+        if self.materialize_state:
+            state = self.committed_state
+            for event in self.uncommitted:
+                state = self.spec.next_state(state, event.invocation)
+            self.current_state = state
+        return removed
+
+    # ------------------------------------------------------------------
+    # Blocked queue maintenance
+    # ------------------------------------------------------------------
+    def enqueue_blocked(self, request: PendingRequest) -> None:
+        """Append a blocked request to the FIFO queue."""
+        self.blocked.append(request)
+
+    def remove_blocked_of(self, transaction_id: int) -> List[PendingRequest]:
+        """Drop (and return) every queued request owned by ``transaction_id``."""
+        removed = [p for p in self.blocked if p.transaction_id == transaction_id]
+        if removed:
+            self.blocked = [p for p in self.blocked if p.transaction_id != transaction_id]
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ObjectManager {self.name!r} type={self.spec.name!r} "
+            f"uncommitted={len(self.uncommitted)} blocked={len(self.blocked)}>"
+        )

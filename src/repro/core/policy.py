@@ -1,0 +1,51 @@
+"""Conflict policies: what counts as a conflict at the object managers.
+
+The simulation study of Section 5 compares two ways of interpreting the same
+compatibility tables:
+
+``COMMUTATIVITY``
+    the baseline — only commuting operations may run concurrently; a
+    recoverable-but-non-commuting request is treated as a conflict and blocks;
+``RECOVERABILITY``
+    the paper's contribution — recoverable requests execute immediately and a
+    commit dependency is recorded instead.
+
+The policy only changes how a pairwise :class:`~repro.core.compatibility.ConflictClass`
+is *interpreted*; the tables themselves are shared, which mirrors the paper's
+claim that "the cost of concurrency control is the same ... except for the
+additional commit-dependency edges".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .compatibility import ConflictClass
+
+__all__ = ["ConflictPolicy", "effective_class"]
+
+
+class ConflictPolicy(enum.Enum):
+    """How pairwise classifications are interpreted by the scheduler."""
+
+    #: Conflict whenever the pair does not commute (the classical semantic
+    #: locking baseline, e.g. Weihl-style commutativity locking).
+    COMMUTATIVITY = "commutativity"
+    #: Conflict only when the pair is neither commutative nor recoverable;
+    #: recoverable pairs execute and record a commit dependency.
+    RECOVERABILITY = "recoverability"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def effective_class(policy: ConflictPolicy, pairwise: ConflictClass) -> ConflictClass:
+    """Map a pairwise classification through the active policy.
+
+    Under the commutativity policy a ``RECOVERABLE`` pair is downgraded to a
+    ``CONFLICT`` (the requester must wait); under the recoverability policy the
+    classification is used as-is.
+    """
+    if policy is ConflictPolicy.COMMUTATIVITY and pairwise is ConflictClass.RECOVERABLE:
+        return ConflictClass.CONFLICT
+    return pairwise

@@ -1,0 +1,204 @@
+"""Recovery machinery: intentions lists and undo logs (Section 4.4).
+
+The paper deliberately leaves recovery strategy open ("these schemes can be
+adapted to effect recovery in our concurrency control scheme"), noting only
+that recovery can be based on either *intentions lists* or *undo logs* and
+that what "undo" means is type-specific (there is no undo for a ``read`` or a
+``top``; the undo of a ``push`` removes the pushed element).
+
+The scheduler itself (see :mod:`repro.core.object_manager`) realises the
+intentions-list view: uncommitted operations live in a per-object log over the
+committed state, abort deletes them, commit folds them in.  This module adds
+the two strategies as stand-alone, application-level utilities:
+
+* :class:`IntentionsList` — a per-transaction record of intended operations
+  that can be *applied* to an object on commit or simply discarded on abort;
+* :class:`UndoLog` — a per-transaction record of executed operations together
+  with the information needed to undo them (a logical inverse where the type
+  provides one, a before-image otherwise).
+
+Both are exercised by the examples and tests; the tests check that, for sound
+schedules, replay-based undo (what the scheduler does) and logical undo lead
+to equivalent states whenever a logical inverse exists and no later
+non-commuting uncommitted operation intervenes (the caveat the paper's stack
+example illustrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import RecoveryError
+from .specification import Invocation, OperationResult, TypeSpecification
+
+__all__ = ["IntentionEntry", "IntentionsList", "UndoEntry", "UndoLog"]
+
+
+@dataclass(frozen=True)
+class IntentionEntry:
+    """One intended operation recorded by an :class:`IntentionsList`."""
+
+    object_name: str
+    invocation: Invocation
+
+
+@dataclass
+class IntentionsList:
+    """A transaction's list of intended operations.
+
+    The transaction records each operation it wants to perform; nothing is
+    applied to the real objects until :meth:`apply_to` is called at commit
+    time.  Abort is therefore free: the list is simply dropped.
+    """
+
+    transaction_id: int
+    entries: List[IntentionEntry] = field(default_factory=list)
+
+    def record(self, object_name: str, invocation: Invocation) -> None:
+        """Append an intended operation."""
+        self.entries.append(IntentionEntry(object_name, invocation))
+
+    def drop(self, object_name: str, invocation: Invocation) -> bool:
+        """Remove the first matching intention (the paper's push-undo example:
+        "dropping the push operation from the transaction's intentions list").
+
+        Returns ``True`` if an entry was removed.
+        """
+        for index, entry in enumerate(self.entries):
+            if entry.object_name == object_name and entry.invocation == invocation:
+                del self.entries[index]
+                return True
+        return False
+
+    def apply_to(self, objects: Dict[str, Any]) -> List[Any]:
+        """Apply every intention, in order, to the given ``AtomicObject`` map.
+
+        Returns the list of return values.  Raises
+        :class:`~repro.core.errors.RecoveryError` if an intention references
+        an unknown object.
+        """
+        values: List[Any] = []
+        for entry in self.entries:
+            target = objects.get(entry.object_name)
+            if target is None:
+                raise RecoveryError(
+                    f"intentions list of T{self.transaction_id} references unknown "
+                    f"object {entry.object_name!r}"
+                )
+            values.append(target.apply(entry.invocation).value)
+        return values
+
+    def clear(self) -> None:
+        """Discard all intentions (the abort path)."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class UndoEntry:
+    """Undo information for one executed operation."""
+
+    object_name: str
+    invocation: Invocation
+    value: Any
+    #: State of the object immediately before the operation executed.
+    before_state: Any
+    #: Logical inverse invocation, if the type defines one.
+    inverse: Optional[Invocation]
+    #: Whether the operation was read-only (no undo needed at all).
+    read_only: bool
+
+
+@dataclass
+class UndoLog:
+    """A transaction's undo log over eagerly applied operations.
+
+    ``record`` is called after each executed operation; ``undo_logical``
+    applies inverse invocations in reverse order, and ``undo_physical``
+    restores the earliest before-image per object.  Physical undo is only
+    correct when no *other* transaction's effects must survive on the same
+    object (it restores the whole object), which is exactly why the scheduler
+    uses replay-based undo instead; both are provided here for completeness
+    and for single-writer application code.
+    """
+
+    transaction_id: int
+    entries: List[UndoEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        object_name: str,
+        spec: TypeSpecification,
+        invocation: Invocation,
+        before_state: Any,
+        value: Any,
+    ) -> None:
+        """Record undo information for an executed operation."""
+        operation = spec.operation(invocation.op)
+        inverse: Optional[Invocation] = None
+        if operation.inverse is not None:
+            inverse = operation.inverse(before_state, invocation.args, value)
+        self.entries.append(
+            UndoEntry(
+                object_name=object_name,
+                invocation=invocation,
+                value=value,
+                before_state=before_state,
+                inverse=inverse,
+                read_only=operation.is_read_only,
+            )
+        )
+
+    def undo_logical(self, objects: Dict[str, Any]) -> int:
+        """Undo by applying logical inverses in reverse execution order.
+
+        Read-only operations are skipped (no undo exists or is needed).
+        Raises :class:`~repro.core.errors.RecoveryError` for a non-read-only
+        operation without an inverse.  Returns the number of operations
+        undone.
+        """
+        undone = 0
+        for entry in reversed(self.entries):
+            if entry.read_only:
+                continue
+            target = objects.get(entry.object_name)
+            if target is None:
+                raise RecoveryError(
+                    f"undo log of T{self.transaction_id} references unknown object "
+                    f"{entry.object_name!r}"
+                )
+            if entry.inverse is None:
+                raise RecoveryError(
+                    f"operation {entry.invocation.op!r} on {entry.object_name!r} has "
+                    "no logical inverse; use physical or replay-based undo"
+                )
+            target.apply(entry.inverse)
+            undone += 1
+        self.entries.clear()
+        return undone
+
+    def undo_physical(self, objects: Dict[str, Any]) -> int:
+        """Undo by restoring, per object, the before-image of the transaction's
+        earliest operation on that object.  Returns the number of objects
+        restored."""
+        earliest: Dict[str, Any] = {}
+        for entry in self.entries:
+            if entry.read_only:
+                continue
+            earliest.setdefault(entry.object_name, entry.before_state)
+        for object_name, state in earliest.items():
+            target = objects.get(object_name)
+            if target is None:
+                raise RecoveryError(
+                    f"undo log of T{self.transaction_id} references unknown object "
+                    f"{object_name!r}"
+                )
+            target.restore(state)
+        self.entries.clear()
+        return len(earliest)
+
+    def __len__(self) -> int:
+        return len(self.entries)

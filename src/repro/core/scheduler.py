@@ -1,0 +1,597 @@
+"""The recoverability-based concurrency-control scheduler (Sections 4.2-4.3).
+
+The :class:`Scheduler` is the public entry point of the library.  It owns one
+:class:`~repro.core.object_manager.ObjectManager` per registered object, the
+unified :class:`~repro.core.dependency_graph.DependencyGraph`, and the
+transaction table, and it implements:
+
+* the operation-admission algorithm of Figure 2 (classify a request against
+  uncommitted operations; block with wait-for edges, or execute with
+  commit-dependency edges, aborting the requester if either would close a
+  cycle);
+* *fair scheduling* (Section 5.2): an incoming request is blocked if it
+  conflicts with an already-blocked request, so blocked writers are not
+  starved — this can be switched off to reproduce Figures 8-9;
+* the commit protocol of Section 4.3: a transaction with outstanding commit
+  dependencies **pseudo-commits** (it is complete from the user's point of
+  view) and is durably committed once its node's out-degree drops to zero;
+* retry of blocked requests whenever a transaction that issued a conflicting
+  operation terminates.
+
+A minimal example::
+
+    from repro import Scheduler, ConflictPolicy
+    from repro.adts import StackType
+
+    scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+    scheduler.register_object("S", StackType())
+
+    t1 = scheduler.begin()
+    t2 = scheduler.begin()
+    scheduler.perform(t1.tid, "S", "push", 4)
+    scheduler.perform(t2.tid, "S", "push", 2)      # recoverable: runs at once
+    scheduler.commit(t2.tid)                        # -> PSEUDO_COMMITTED
+    scheduler.commit(t1.tid)                        # -> COMMITTED (and T2 too)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .compatibility import CompatibilitySpec, ConflictClass
+from .dependency_graph import DependencyGraph, EdgeKind
+from .errors import TransactionStateError, UnknownObjectError
+from .history import ExecutionLog
+from .object_manager import Classification, ObjectManager, PendingRequest
+from .policy import ConflictPolicy
+from .specification import Event, Invocation, TypeSpecification
+from .transaction import Transaction, TransactionStatus
+
+__all__ = [
+    "RequestStatus",
+    "RequestHandle",
+    "SchedulerListener",
+    "SchedulerStatistics",
+    "AbortReason",
+    "Scheduler",
+]
+
+
+class RequestStatus(enum.Enum):
+    """Observable status of an operation request."""
+
+    EXECUTED = "executed"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    """Why the scheduler aborted a transaction."""
+
+    DEADLOCK = "deadlock"
+    DEPENDENCY_CYCLE = "commit-dependency cycle"
+    USER = "user abort"
+
+
+@dataclass
+class RequestHandle:
+    """The caller-visible result of :meth:`Scheduler.perform`.
+
+    A handle starts in the status the scheduler decided immediately
+    (``EXECUTED``, ``BLOCKED``, or ``ABORTED``).  A blocked handle is updated
+    in place when the request is granted or the transaction is later aborted,
+    so callers (and the simulator) can poll or react through listeners.
+    """
+
+    transaction_id: int
+    object_name: str
+    invocation: Invocation
+    status: Optional[RequestStatus] = None
+    value: Any = None
+    abort_reason: Optional[AbortReason] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.status is RequestStatus.EXECUTED
+
+    @property
+    def blocked(self) -> bool:
+        return self.status is RequestStatus.BLOCKED
+
+    @property
+    def aborted(self) -> bool:
+        return self.status is RequestStatus.ABORTED
+
+
+class SchedulerListener:
+    """Base class for observers of scheduler decisions.
+
+    All hooks default to no-ops; subclasses override what they need.  Hooks
+    must not call back into the scheduler synchronously (the simulator, for
+    instance, reacts by scheduling future simulation events).
+    """
+
+    def on_executed(self, transaction_id: int, handle: RequestHandle, event: Event) -> None:
+        """An operation request executed immediately."""
+
+    def on_blocked(self, transaction_id: int, handle: RequestHandle) -> None:
+        """An operation request conflicted and was queued."""
+
+    def on_granted(self, transaction_id: int, handle: RequestHandle, event: Event) -> None:
+        """A previously blocked request was granted and has now executed."""
+
+    def on_aborted(self, transaction_id: int, reason: AbortReason) -> None:
+        """A transaction was aborted (by the scheduler or the user)."""
+
+    def on_pseudo_committed(self, transaction_id: int) -> None:
+        """A transaction pseudo-committed (complete, awaiting dependencies)."""
+
+    def on_committed(self, transaction_id: int) -> None:
+        """A transaction durably committed."""
+
+
+@dataclass
+class SchedulerStatistics:
+    """Counters matching the metrics of Section 5.4 (scheduler-side part)."""
+
+    operations_executed: int = 0
+    blocks: int = 0
+    commits: int = 0
+    pseudo_commits: int = 0
+    aborts: int = 0
+    deadlock_aborts: int = 0
+    dependency_cycle_aborts: int = 0
+    user_aborts: int = 0
+    cycle_checks: int = 0
+    #: Sum over aborted transactions of their operation count at abort time.
+    abort_length_total: int = 0
+    commit_dependency_edges: int = 0
+    wait_for_edges: int = 0
+
+    @property
+    def average_abort_length(self) -> float:
+        """The paper's *abort length* metric (0.0 when nothing aborted)."""
+        if not self.aborts:
+            return 0.0
+        return self.abort_length_total / self.aborts
+
+
+class Scheduler:
+    """Recoverability-based concurrency control over a set of shared objects."""
+
+    def __init__(
+        self,
+        policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY,
+        fair: bool = True,
+        record_history: bool = True,
+        retain_terminated: bool = True,
+    ):
+        self.policy = policy
+        self.fair = fair
+        #: When ``False``, records of committed/aborted transactions are
+        #: dropped from :attr:`transactions` as soon as they terminate.  The
+        #: simulator uses this to keep memory flat over very long runs.
+        self.retain_terminated = retain_terminated
+        self.graph = DependencyGraph()
+        self.objects: Dict[str, ObjectManager] = {}
+        self.transactions: Dict[int, Transaction] = {}
+        self.stats = SchedulerStatistics()
+        self.history: Optional[ExecutionLog] = ExecutionLog() if record_history else None
+        self._listeners: List[SchedulerListener] = []
+        self._next_tid = 0
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        name: str,
+        spec: TypeSpecification,
+        compatibility: Optional[CompatibilitySpec] = None,
+        initial_state: Any = None,
+        materialize_state: bool = True,
+    ) -> ObjectManager:
+        """Register a shared object managed by this scheduler."""
+        manager = ObjectManager(
+            name=name,
+            spec=spec,
+            compatibility=compatibility,
+            initial_state=initial_state,
+            materialize_state=materialize_state,
+        )
+        self.objects[name] = manager
+        return manager
+
+    def object(self, name: str) -> ObjectManager:
+        """Return the object manager for ``name``."""
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise UnknownObjectError(name) from None
+
+    def add_listener(self, listener: SchedulerListener) -> None:
+        """Subscribe a listener to scheduler decisions."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self, label: Optional[str] = None) -> Transaction:
+        """Start a new transaction and return its record."""
+        self._next_tid += 1
+        transaction = Transaction(tid=self._next_tid, label=label)
+        self.transactions[transaction.tid] = transaction
+        self.graph.add_node(transaction.tid)
+        return transaction
+
+    def transaction(self, transaction_id: int) -> Transaction:
+        """Return the record of an existing transaction."""
+        try:
+            return self.transactions[transaction_id]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {transaction_id}") from None
+
+    def live_transactions(self) -> List[Transaction]:
+        """Transactions whose operations still participate in conflicts."""
+        return [t for t in self.transactions.values() if t.status.is_live]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def perform(self, transaction_id: int, object_name: str, op: str, *args: Any) -> RequestHandle:
+        """Request execution of ``op(*args)`` on ``object_name``.
+
+        Returns a :class:`RequestHandle` whose status is ``EXECUTED`` (value
+        available), ``BLOCKED`` (queued; will be granted or aborted later), or
+        ``ABORTED`` (the request would have closed a dependency cycle and the
+        transaction was aborted).
+        """
+        return self.submit(transaction_id, object_name, Invocation(op, tuple(args)))
+
+    def submit(
+        self, transaction_id: int, object_name: str, invocation: Invocation
+    ) -> RequestHandle:
+        """Like :meth:`perform` but takes a prebuilt :class:`Invocation`."""
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE)
+        manager = self.object(object_name)
+        handle = RequestHandle(
+            transaction_id=transaction_id,
+            object_name=object_name,
+            invocation=invocation,
+        )
+        self._admit(transaction, manager, handle, from_queue=False)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Admission (Figure 2)
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        transaction: Transaction,
+        manager: ObjectManager,
+        handle: RequestHandle,
+        from_queue: bool,
+    ) -> None:
+        invocation = handle.invocation
+        if from_queue:
+            # The request is leaving the blocked queue: its wait-for edges
+            # described the old conflict set and must not linger (they would
+            # cause spurious deadlock aborts later).
+            self.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
+        classification = manager.classify_request(invocation, transaction.tid, self.policy)
+        conflicting = set(classification.conflicting)
+        if self.fair and not from_queue:
+            conflicting |= manager.blocked_conflicts(invocation, transaction.tid, self.policy)
+
+        if conflicting:
+            self._block(transaction, manager, handle, conflicting)
+            return
+
+        if classification.recoverable:
+            self.stats.cycle_checks += 1
+            transaction.cycle_checks += 1
+            if self.graph.creates_cycle(transaction.tid, classification.recoverable):
+                self._abort_internal(transaction, AbortReason.DEPENDENCY_CYCLE, handle)
+                return
+            self.graph.add_edges(
+                transaction.tid, classification.recoverable, EdgeKind.COMMIT_DEPENDENCY
+            )
+            self.stats.commit_dependency_edges += len(classification.recoverable)
+
+        self._execute(transaction, manager, handle, from_queue=from_queue)
+
+    def _block(
+        self,
+        transaction: Transaction,
+        manager: ObjectManager,
+        handle: RequestHandle,
+        conflicting: Set[int],
+    ) -> None:
+        """Step 1 of Figure 2: wait-for edges, deadlock check, then wait."""
+        self.stats.cycle_checks += 1
+        transaction.cycle_checks += 1
+        if self.graph.creates_cycle(transaction.tid, conflicting):
+            self._abort_internal(transaction, AbortReason.DEADLOCK, handle)
+            return
+        self.graph.add_edges(transaction.tid, conflicting, EdgeKind.WAIT_FOR)
+        self.stats.wait_for_edges += len(conflicting)
+        transaction.status = TransactionStatus.BLOCKED
+        transaction.blocks += 1
+        self.stats.blocks += 1
+        handle.status = RequestStatus.BLOCKED
+        manager.enqueue_blocked(
+            PendingRequest(
+                transaction_id=transaction.tid, invocation=handle.invocation, payload=handle
+            )
+        )
+        for listener in self._listeners:
+            listener.on_blocked(transaction.tid, handle)
+
+    def _execute(
+        self,
+        transaction: Transaction,
+        manager: ObjectManager,
+        handle: RequestHandle,
+        from_queue: bool,
+    ) -> None:
+        self._sequence += 1
+        event = manager.execute(handle.invocation, transaction.tid, self._sequence)
+        if self.history is not None:
+            self.history.append_event(event)
+        transaction.record_event(event)
+        transaction.status = TransactionStatus.ACTIVE
+        handle.status = RequestStatus.EXECUTED
+        handle.value = event.value
+        self.stats.operations_executed += 1
+        for listener in self._listeners:
+            if from_queue:
+                listener.on_granted(transaction.tid, handle, event)
+            else:
+                listener.on_executed(transaction.tid, handle, event)
+        self._refresh_waiters_after_execute(manager, event)
+
+    def _refresh_waiters_after_execute(self, manager: ObjectManager, event: Event) -> None:
+        """Keep blocked transactions' wait-for edges complete.
+
+        Every blocked request must hold wait-for edges to *all* transactions
+        with conflicting uncommitted operations, otherwise a deadlock can go
+        undetected.  When a new operation executes (either under unfair
+        scheduling or because a queued request was granted ahead of others),
+        blocked requests that conflict with it gain an edge to the executor;
+        if that edge closes a cycle the blocked transaction is the victim.
+        """
+        if not manager.blocked:
+            return
+        for pending in list(manager.blocked):
+            if pending.transaction_id == event.transaction_id:
+                continue
+            waiter = self.transactions.get(pending.transaction_id)
+            if waiter is None or waiter.status is not TransactionStatus.BLOCKED:
+                continue
+            pairwise = manager.classify_pair(pending.invocation, event.invocation, self.policy)
+            if pairwise is not ConflictClass.CONFLICT:
+                continue
+            if self.graph.has_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR):
+                continue
+            self.stats.cycle_checks += 1
+            waiter.cycle_checks += 1
+            if self.graph.creates_cycle(waiter.tid, {event.transaction_id}):
+                self._abort_internal(waiter, AbortReason.DEADLOCK, handle=None)
+                continue
+            self.graph.add_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR)
+            self.stats.wait_for_edges += 1
+
+    # ------------------------------------------------------------------
+    # Commit protocol (Section 4.3)
+    # ------------------------------------------------------------------
+    def commit(self, transaction_id: int) -> TransactionStatus:
+        """Attempt to commit a transaction.
+
+        Returns ``COMMITTED`` when the transaction had no outstanding commit
+        dependencies, or ``PSEUDO_COMMITTED`` when it must wait for the
+        transactions it depends on to terminate first.  A blocked transaction
+        cannot commit (its last request has not executed).
+        """
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE)
+        if self.graph.out_degree(transaction_id) > 0:
+            transaction.status = TransactionStatus.PSEUDO_COMMITTED
+            self.stats.pseudo_commits += 1
+            if self.history is not None:
+                self.history.append_pseudo_commit(transaction_id)
+            for listener in self._listeners:
+                listener.on_pseudo_committed(transaction_id)
+            return TransactionStatus.PSEUDO_COMMITTED
+        self._finalize_commit(transaction)
+        return TransactionStatus.COMMITTED
+
+    def _finalize_commit(self, transaction: Transaction) -> None:
+        """Durably commit a transaction whose dependencies have all terminated."""
+        for object_name in transaction.objects_visited:
+            self.objects[object_name].remove_transaction(transaction.tid, commit=True)
+        transaction.status = TransactionStatus.COMMITTED
+        self.stats.commits += 1
+        if self.history is not None:
+            self.history.append_commit(transaction.tid)
+        for listener in self._listeners:
+            listener.on_committed(transaction.tid)
+        self._after_termination(transaction)
+
+    # ------------------------------------------------------------------
+    # Abort
+    # ------------------------------------------------------------------
+    def abort(self, transaction_id: int, reason: AbortReason = AbortReason.USER) -> None:
+        """Abort an active or blocked transaction and undo its operations."""
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE, TransactionStatus.BLOCKED)
+        self._abort_internal(transaction, reason, handle=None)
+
+    def _abort_internal(
+        self,
+        transaction: Transaction,
+        reason: AbortReason,
+        handle: Optional[RequestHandle],
+    ) -> None:
+        self.stats.aborts += 1
+        if reason is AbortReason.DEADLOCK:
+            self.stats.deadlock_aborts += 1
+        elif reason is AbortReason.DEPENDENCY_CYCLE:
+            self.stats.dependency_cycle_aborts += 1
+        else:
+            self.stats.user_aborts += 1
+        self.stats.abort_length_total += transaction.operation_count
+
+        # Undo: delete the transaction's operations from every object log and
+        # drop any request it still has queued.  Objects where a queued
+        # request was dropped must also be retried: under fair scheduling
+        # other transactions may be waiting behind that request even though
+        # the aborted transaction never executed anything on the object.
+        retry_objects = set(transaction.objects_visited)
+        for manager in self.objects.values():
+            removed_pending = manager.remove_blocked_of(transaction.tid)
+            if removed_pending:
+                retry_objects.add(manager.name)
+            for pending in removed_pending:
+                pending_handle = pending.payload
+                if isinstance(pending_handle, RequestHandle):
+                    pending_handle.status = RequestStatus.ABORTED
+                    pending_handle.abort_reason = reason
+        for object_name in transaction.objects_visited:
+            self.objects[object_name].remove_transaction(transaction.tid, commit=False)
+
+        transaction.status = TransactionStatus.ABORTED
+        if handle is not None:
+            handle.status = RequestStatus.ABORTED
+            handle.abort_reason = reason
+        if self.history is not None:
+            self.history.append_abort(transaction.tid)
+        for listener in self._listeners:
+            listener.on_aborted(transaction.tid, reason)
+        self._after_termination(transaction, retry_objects=retry_objects)
+
+    # ------------------------------------------------------------------
+    # Termination bookkeeping
+    # ------------------------------------------------------------------
+    def _after_termination(
+        self, transaction: Transaction, retry_objects: Optional[Set[str]] = None
+    ) -> None:
+        """Node removal, cascaded commits of pseudo-committed transactions,
+        and retry of blocked requests (Sections 4.2-4.3)."""
+        former_predecessors = self.graph.remove_node(transaction.tid)
+
+        # Only transactions that pointed at the removed node can have dropped
+        # to out-degree zero; committing one of them recurses back here, which
+        # handles arbitrarily long commit-dependency chains.
+        for predecessor_id in sorted(former_predecessors):
+            candidate = self.transactions.get(predecessor_id)
+            if candidate is None:
+                continue
+            if candidate.status is not TransactionStatus.PSEUDO_COMMITTED:
+                continue
+            if self.graph.out_degree(candidate.tid) == 0:
+                self._finalize_commit(candidate)
+
+        # Retry blocked requests on the objects the terminated transaction
+        # visited (its departure may have removed the conflicts), plus any
+        # objects where it had a queued request dropped.
+        if retry_objects is None:
+            retry_objects = set(transaction.objects_visited)
+        for object_name in sorted(retry_objects):
+            manager = self.objects.get(object_name)
+            if manager is not None:
+                self._retry_blocked(manager)
+
+        if not self.retain_terminated:
+            self.transactions.pop(transaction.tid, None)
+
+    def _retry_blocked(self, manager: ObjectManager) -> None:
+        """Grant queued requests that no longer conflict, preserving fairness."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, pending in enumerate(list(manager.blocked)):
+                transaction = self.transactions.get(pending.transaction_id)
+                if transaction is None or transaction.status is not TransactionStatus.BLOCKED:
+                    manager.blocked.remove(pending)
+                    progressed = True
+                    break
+                classification = manager.classify_request(
+                    pending.invocation, pending.transaction_id, self.policy
+                )
+                ahead_owners: Set[int] = set()
+                if self.fair:
+                    ahead_owners = manager.blocked_conflicts(
+                        pending.invocation, pending.transaction_id, self.policy, upto=index
+                    )
+                if classification.conflicting or ahead_owners:
+                    # Still blocked: make sure its wait-for edges describe the
+                    # *current* conflict set, otherwise a deadlock formed since
+                    # the original block could go undetected.
+                    if self._refresh_wait_edges(
+                        transaction, classification.conflicting | ahead_owners
+                    ):
+                        # The refresh found a cycle and aborted the waiter.
+                        progressed = True
+                        break
+                    continue
+                manager.blocked.remove(pending)
+                handle = pending.payload
+                if not isinstance(handle, RequestHandle):
+                    handle = RequestHandle(
+                        transaction_id=pending.transaction_id,
+                        object_name=manager.name,
+                        invocation=pending.invocation,
+                        status=RequestStatus.BLOCKED,
+                    )
+                self._admit(transaction, manager, handle, from_queue=True)
+                progressed = True
+                break
+
+    def _refresh_wait_edges(self, transaction: Transaction, conflicting: Set[int]) -> bool:
+        """Re-point a blocked transaction's wait-for edges at ``conflicting``.
+
+        Returns ``True`` if doing so would close a cycle, in which case the
+        waiter is aborted (deadlock victim) and the caller should rescan.
+        """
+        current = self.waiting_for(transaction.tid)
+        if current == conflicting:
+            return False
+        self.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
+        self.stats.cycle_checks += 1
+        transaction.cycle_checks += 1
+        if self.graph.creates_cycle(transaction.tid, conflicting):
+            self._abort_internal(transaction, AbortReason.DEADLOCK, handle=None)
+            return True
+        self.graph.add_edges(transaction.tid, conflicting, EdgeKind.WAIT_FOR)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def commit_dependencies(self, transaction_id: int) -> Set[int]:
+        """Transactions that ``transaction_id`` must commit after."""
+        return {
+            target
+            for target in self.graph.successors(transaction_id)
+            if self.graph.has_edge(transaction_id, target, EdgeKind.COMMIT_DEPENDENCY)
+        }
+
+    def waiting_for(self, transaction_id: int) -> Set[int]:
+        """Transactions that ``transaction_id`` is blocked behind."""
+        return {
+            target
+            for target in self.graph.successors(transaction_id)
+            if self.graph.has_edge(transaction_id, target, EdgeKind.WAIT_FOR)
+        }
+
+    def object_state(self, name: str) -> Any:
+        """The currently visible state of an object (committed + uncommitted)."""
+        return self.object(name).current_state
+
+    def committed_state(self, name: str) -> Any:
+        """The committed state of an object (effects of committed transactions only)."""
+        return self.object(name).committed_state

@@ -1,0 +1,302 @@
+"""Offline correctness checkers: soundness, cascade-freedom, serializability.
+
+Section 4.1 of the paper defines when an execution log is *correct*:
+
+* every operation must be **sound** (Definition 4): its return value is the
+  same in the log and in any extension of the log where other uncommitted
+  transactions abort (their operations being deleted from the log);
+* a log of sound operations is **free from cascading aborts** (Lemma 3);
+* the log is **serializable** if the combined dependency graph — commit
+  dependencies from recoverable pairs plus serialization edges from
+  non-recoverable pairs — is acyclic (Lemma 4).
+
+These checkers work on a finished :class:`~repro.core.history.ExecutionLog`
+plus the specifications of the objects it touches.  They are deliberately
+exhaustive (soundness enumerates subsets of abortable transactions), which is
+fine for the hand-sized logs used in tests and examples, and they provide the
+ground truth the property-based tests compare the scheduler against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .compatibility import CompatibilitySpec, ConflictClass
+from .dependency_graph import DependencyGraph, EdgeKind
+from .errors import SpecificationError
+from .history import ExecutionLog, RecordKind
+from .specification import Event, Invocation, TypeSpecification
+
+__all__ = [
+    "ObjectUniverse",
+    "replay_object",
+    "event_return_value",
+    "is_event_sound",
+    "unsound_events",
+    "is_log_sound",
+    "is_free_of_cascading_aborts",
+    "build_dependency_graph",
+    "is_serializable",
+    "serialization_orders",
+    "is_rw_conflict_serializable",
+]
+
+
+@dataclass
+class ObjectUniverse:
+    """The specifications (and optional initial states) of a log's objects."""
+
+    specs: Dict[str, TypeSpecification]
+    initial_states: Dict[str, object] = None  # type: ignore[assignment]
+    compatibilities: Dict[str, CompatibilitySpec] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.initial_states is None:
+            self.initial_states = {}
+        if self.compatibilities is None:
+            self.compatibilities = {}
+
+    @classmethod
+    def uniform(
+        cls,
+        spec: TypeSpecification,
+        object_names: Iterable[str],
+        compatibility: Optional[CompatibilitySpec] = None,
+    ) -> "ObjectUniverse":
+        """All named objects share one type (and optionally one table)."""
+        names = list(object_names)
+        return cls(
+            specs={name: spec for name in names},
+            initial_states={},
+            compatibilities={name: compatibility for name in names} if compatibility else {},
+        )
+
+    def spec_of(self, object_name: str) -> TypeSpecification:
+        try:
+            return self.specs[object_name]
+        except KeyError:
+            raise SpecificationError(f"no specification for object {object_name!r}") from None
+
+    def initial_state_of(self, object_name: str) -> object:
+        if object_name in self.initial_states:
+            return self.initial_states[object_name]
+        return self.spec_of(object_name).initial_state()
+
+    def compatibility_of(self, object_name: str) -> CompatibilitySpec:
+        table = self.compatibilities.get(object_name)
+        if table is not None:
+            return table
+        return self.spec_of(object_name).compatibility()
+
+
+# ----------------------------------------------------------------------
+# Replaying logs against the executable specifications
+# ----------------------------------------------------------------------
+def replay_object(
+    log: ExecutionLog, universe: ObjectUniverse, object_name: str
+) -> Tuple[object, List[object]]:
+    """Replay every event on one object; return (final state, return values)."""
+    spec = universe.spec_of(object_name)
+    state = universe.initial_state_of(object_name)
+    values: List[object] = []
+    for event in log.events_on(object_name):
+        result = spec.apply(state, event.invocation)
+        state = result.state
+        values.append(result.value)
+    return state, values
+
+
+def event_return_value(
+    log: ExecutionLog, universe: ObjectUniverse, event: Event
+) -> object:
+    """The value ``event`` would return when the log is replayed serially."""
+    spec = universe.spec_of(event.object_name)
+    state = universe.initial_state_of(event.object_name)
+    for prior in log.events_on(event.object_name):
+        if prior.sequence == event.sequence:
+            return spec.return_value(state, event.invocation)
+        state = spec.next_state(state, prior.invocation)
+    raise SpecificationError(
+        f"event {event} is not part of the supplied log"
+    )
+
+
+# ----------------------------------------------------------------------
+# Soundness (Definition 4) and cascading aborts (Lemma 3)
+# ----------------------------------------------------------------------
+def _abortable_transactions(log: ExecutionLog, event: Event) -> Set[int]:
+    """Transactions whose abort Definition 4 quantifies over for ``event``:
+    every other transaction that has not committed before the event executed."""
+    committed_before = log.committed_before(event.sequence)
+    return {
+        tid
+        for tid in log.transactions()
+        if tid != event.transaction_id and tid not in committed_before
+    }
+
+
+def is_event_sound(
+    log: ExecutionLog, universe: ObjectUniverse, event: Event, exhaustive: bool = True
+) -> bool:
+    """Check Definition 4 for one event.
+
+    The event's return value must be unchanged in every extension of the log
+    that aborts some subset of the other not-yet-committed transactions.  With
+    ``exhaustive=False`` only single-transaction aborts are checked (a much
+    cheaper necessary condition used by the property tests on larger logs).
+    """
+    baseline = event_return_value(log, universe, event)
+    candidates = sorted(_abortable_transactions(log, event))
+    if exhaustive:
+        subsets: Iterable[Tuple[int, ...]] = itertools.chain.from_iterable(
+            itertools.combinations(candidates, size) for size in range(1, len(candidates) + 1)
+        )
+    else:
+        subsets = ((tid,) for tid in candidates)
+    for subset in subsets:
+        reduced = log.without_transactions(subset)
+        if event_return_value(reduced, universe, event) != baseline:
+            return False
+    return True
+
+
+def unsound_events(
+    log: ExecutionLog, universe: ObjectUniverse, exhaustive: bool = True
+) -> List[Event]:
+    """All events of the log that violate Definition 4."""
+    return [
+        event
+        for event in log.events()
+        if not is_event_sound(log, universe, event, exhaustive=exhaustive)
+    ]
+
+
+def is_log_sound(
+    log: ExecutionLog, universe: ObjectUniverse, exhaustive: bool = True
+) -> bool:
+    """True when every operation in the log is sound (Theorem 1's guarantee)."""
+    return not unsound_events(log, universe, exhaustive=exhaustive)
+
+
+def is_free_of_cascading_aborts(
+    log: ExecutionLog, universe: ObjectUniverse, exhaustive: bool = True
+) -> bool:
+    """Lemma 3: a log of sound operations is free from cascading aborts.
+
+    Operationally: aborting any subset of uncommitted transactions never
+    changes the return value observed by any other transaction's operations —
+    which is exactly the soundness check.
+    """
+    return is_log_sound(log, universe, exhaustive=exhaustive)
+
+
+# ----------------------------------------------------------------------
+# Serializability (Definitions 5-6, Lemma 4)
+# ----------------------------------------------------------------------
+def build_dependency_graph(
+    log: ExecutionLog,
+    universe: ObjectUniverse,
+    include_aborted: bool = False,
+) -> DependencyGraph:
+    """Build the combined dependency graph ``DG = G ∪ SG`` of a log.
+
+    For every ordered pair of events ``e_earlier < e_later`` by different
+    transactions on the same object:
+
+    * commutative pairs contribute nothing;
+    * recoverable (non-commutative) pairs contribute a commit-dependency edge
+      ``later -> earlier`` (Definition 5);
+    * non-recoverable pairs contribute a serialization edge, also oriented
+      ``later -> earlier`` (Definition 6 up to a uniform reversal — orienting
+      both edge families the same way preserves acyclicity and matches the
+      run-time graph, where an edge means "must terminate after").
+
+    Aborted transactions' events are excluded by default (their operations are
+    deleted from the log when the abort is appended).
+    """
+    graph = DependencyGraph()
+    aborted = log.aborted()
+    for transaction_id in log.transactions():
+        if include_aborted or transaction_id not in aborted:
+            graph.add_node(transaction_id)
+    for object_name in log.object_names():
+        events = [
+            event
+            for event in log.events_on(object_name)
+            if include_aborted or event.transaction_id not in aborted
+        ]
+        compatibility = universe.compatibility_of(object_name)
+        spec = universe.spec_of(object_name)
+        for earlier_index, earlier in enumerate(events):
+            for later in events[earlier_index + 1 :]:
+                if earlier.transaction_id == later.transaction_id:
+                    continue
+                conflict_class = compatibility.classify(
+                    later.invocation, earlier.invocation, spec
+                )
+                if conflict_class is ConflictClass.COMMUTATIVE:
+                    continue
+                kind = (
+                    EdgeKind.COMMIT_DEPENDENCY
+                    if conflict_class is ConflictClass.RECOVERABLE
+                    else EdgeKind.WAIT_FOR
+                )
+                graph.add_edge(later.transaction_id, earlier.transaction_id, kind)
+    return graph
+
+
+def is_serializable(log: ExecutionLog, universe: ObjectUniverse) -> bool:
+    """Lemma 4: the log is serializable iff its dependency graph is acyclic."""
+    return not build_dependency_graph(log, universe).has_cycle()
+
+
+def serialization_orders(log: ExecutionLog, universe: ObjectUniverse) -> List[List[int]]:
+    """Enumerate every total order of committed transactions consistent with
+    the dependency graph (edge ``a -> b`` forces ``b`` before ``a``).
+
+    Useful in tests to assert that a specific serial order — e.g. the commit
+    order enforced by the scheduler — is among the admissible ones.  Only
+    committed transactions are considered.
+    """
+    graph = build_dependency_graph(log, universe)
+    committed = sorted(log.committed())
+    orders: List[List[int]] = []
+    for permutation in itertools.permutations(committed):
+        position = {tid: index for index, tid in enumerate(permutation)}
+        consistent = True
+        for edge in graph.edges():
+            if edge.source in position and edge.target in position:
+                if position[edge.target] > position[edge.source]:
+                    consistent = False
+                    break
+        if consistent:
+            orders.append(list(permutation))
+    return orders
+
+
+# ----------------------------------------------------------------------
+# Classical read/write conflict serializability (baseline cross-check)
+# ----------------------------------------------------------------------
+def is_rw_conflict_serializable(log: ExecutionLog) -> bool:
+    """Classic conflict serializability for read/write logs.
+
+    Two events conflict when they touch the same object and at least one is a
+    ``write``.  The check builds the usual precedence graph (earlier ->
+    later) over committed transactions and tests it for acyclicity.  Used to
+    cross-validate the page/read-write workloads against textbook theory.
+    """
+    graph = DependencyGraph()
+    aborted = log.aborted()
+    for object_name in log.object_names():
+        events = [e for e in log.events_on(object_name) if e.transaction_id not in aborted]
+        for earlier_index, earlier in enumerate(events):
+            for later in events[earlier_index + 1 :]:
+                if earlier.transaction_id == later.transaction_id:
+                    continue
+                if "write" in (earlier.invocation.op, later.invocation.op):
+                    graph.add_edge(
+                        earlier.transaction_id, later.transaction_id, EdgeKind.WAIT_FOR
+                    )
+    return not graph.has_cycle()

@@ -1,0 +1,109 @@
+"""A minimal discrete-event simulation engine.
+
+The closed-queuing model of Section 5.1 is driven by a classic event loop: a
+priority queue of ``(time, sequence, callback)`` entries, a simulation clock,
+and a stop predicate.  Nothing here is specific to concurrency control; the
+engine is reused by the resource model (CPU/disk service completions), the
+terminals (think-time expirations), and the simulator itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = ["ScheduledEvent", "EventEngine"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry of the event queue.
+
+    Ordering is by time, then by insertion sequence (FIFO among simultaneous
+    events), which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """Priority-queue driven simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before the current time {self.now}"
+            )
+        self._sequence += 1
+        event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the stop predicate holds or the queue drains.
+
+        ``max_events`` is a safety valve against configuration errors (it
+        raises rather than looping forever).
+        """
+        processed = 0
+        while until is None or not until():
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded the safety limit of {max_events} events"
+                )
+            if not self.step():
+                if until is not None and not until():
+                    raise SimulationError(
+                        "event queue drained before the stop condition was met"
+                    )
+                return
+            processed += 1
+
+    def pending(self) -> int:
+        """Number of (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,176 @@
+"""Performance metrics of the simulation study (Section 5.4).
+
+The paper evaluates each configuration with:
+
+* **throughput** — transactions completed per simulated second (completions
+  include pseudo-commits: the transaction is done from the user's viewpoint);
+* **response time** — seconds from terminal submission to completion,
+  including ready-queue time and time lost to restarts;
+* **blocking ratio** — transaction blocks per completion;
+* **restart ratio** — restarts per completion;
+* **cycle-check ratio** — invocations of the cycle-detection algorithm per
+  completion;
+* **abort length** — average number of operations a transaction had executed
+  when it was aborted.
+
+:class:`MetricsCollector` accumulates the raw counters during the measurement
+window (after the optional warm-up) and freezes them into a :class:`RunMetrics`
+value at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["RunMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Frozen results of one simulation run (one parameter point, one seed)."""
+
+    simulated_time: float
+    completions: int
+    commits: int
+    pseudo_commits: int
+    response_time_total: float
+    blocks: int
+    restarts: int
+    cycle_checks: int
+    aborts: int
+    abort_length_total: int
+    commit_dependency_edges: int
+    events_processed: int
+
+    # ------------------------------------------------------------------
+    # The paper's derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Completed transactions per simulated second."""
+        if self.simulated_time <= 0:
+            return 0.0
+        return self.completions / self.simulated_time
+
+    @property
+    def response_time(self) -> float:
+        """Mean seconds from submission to completion."""
+        if self.completions == 0:
+            return 0.0
+        return self.response_time_total / self.completions
+
+    @property
+    def blocking_ratio(self) -> float:
+        """Blocks per completed transaction."""
+        if self.completions == 0:
+            return 0.0
+        return self.blocks / self.completions
+
+    @property
+    def restart_ratio(self) -> float:
+        """Restarts per completed transaction."""
+        if self.completions == 0:
+            return 0.0
+        return self.restarts / self.completions
+
+    @property
+    def cycle_check_ratio(self) -> float:
+        """Cycle-detection invocations per completed transaction."""
+        if self.completions == 0:
+            return 0.0
+        return self.cycle_checks / self.completions
+
+    @property
+    def abort_length(self) -> float:
+        """Average operations executed by a transaction at abort time."""
+        if self.aborts == 0:
+            return 0.0
+        return self.abort_length_total / self.aborts
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping of every metric the reports print."""
+        return {
+            "throughput": self.throughput,
+            "response_time": self.response_time,
+            "blocking_ratio": self.blocking_ratio,
+            "restart_ratio": self.restart_ratio,
+            "cycle_check_ratio": self.cycle_check_ratio,
+            "abort_length": self.abort_length,
+            "completions": float(self.completions),
+            "commits": float(self.commits),
+            "pseudo_commits": float(self.pseudo_commits),
+            "simulated_time": self.simulated_time,
+        }
+
+
+class MetricsCollector:
+    """Mutable accumulator used by the simulator during a run."""
+
+    def __init__(self) -> None:
+        self.started_at: float = 0.0
+        self.completions = 0
+        self.commits = 0
+        self.pseudo_commits = 0
+        self.response_time_total = 0.0
+        self.restarts = 0
+        # Scheduler-side counters are snapshotted at the start of the
+        # measurement window and subtracted at the end.
+        self._scheduler_snapshot: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def begin_measurement(self, now: float, scheduler_stats) -> None:
+        """Start (or restart) the measurement window at simulated time ``now``."""
+        self.started_at = now
+        self.completions = 0
+        self.commits = 0
+        self.pseudo_commits = 0
+        self.response_time_total = 0.0
+        self.restarts = 0
+        self._scheduler_snapshot = {
+            "blocks": scheduler_stats.blocks,
+            "cycle_checks": scheduler_stats.cycle_checks,
+            "aborts": scheduler_stats.aborts,
+            "abort_length_total": scheduler_stats.abort_length_total,
+            "commit_dependency_edges": scheduler_stats.commit_dependency_edges,
+        }
+
+    def record_completion(self, response_time: float, pseudo: bool) -> None:
+        """Record one user-visible completion."""
+        self.completions += 1
+        self.response_time_total += response_time
+        if pseudo:
+            self.pseudo_commits += 1
+        else:
+            self.commits += 1
+
+    def record_restart(self) -> None:
+        """Record one restart (a scheduler abort followed by re-submission)."""
+        self.restarts += 1
+
+    # ------------------------------------------------------------------
+    def freeze(self, now: float, scheduler_stats, events_processed: int) -> RunMetrics:
+        """Produce the immutable :class:`RunMetrics` for the window."""
+        snapshot = self._scheduler_snapshot or {
+            "blocks": 0,
+            "cycle_checks": 0,
+            "aborts": 0,
+            "abort_length_total": 0,
+            "commit_dependency_edges": 0,
+        }
+        return RunMetrics(
+            simulated_time=max(now - self.started_at, 0.0),
+            completions=self.completions,
+            commits=self.commits,
+            pseudo_commits=self.pseudo_commits,
+            response_time_total=self.response_time_total,
+            blocks=scheduler_stats.blocks - snapshot["blocks"],
+            restarts=self.restarts,
+            cycle_checks=scheduler_stats.cycle_checks - snapshot["cycle_checks"],
+            aborts=scheduler_stats.aborts - snapshot["aborts"],
+            abort_length_total=scheduler_stats.abort_length_total
+            - snapshot["abort_length_total"],
+            commit_dependency_edges=scheduler_stats.commit_dependency_edges
+            - snapshot["commit_dependency_edges"],
+            events_processed=events_processed,
+        )

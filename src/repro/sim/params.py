@@ -1,0 +1,159 @@
+"""Simulation parameters (the paper's Tables IX and X).
+
+:class:`SimulationParameters` bundles every knob of the closed-queuing model.
+The defaults are the *nominal values* of Table X: a 1000-object database, 200
+terminals, transactions of 4-12 operations, 0.05 s per operation (0.015 s CPU
+plus 0.035 s disk when resources are finite), 1 s mean think time, and a write
+probability of 0.3 for the read/write workload.
+
+The only deliberate departure from the paper is the run length: the paper
+simulates until 50 000 transactions complete and averages 10 runs; that scale
+is a parameter here (``total_completions``, ``runs`` in the experiment layer)
+so that the benchmark suite finishes in seconds while the full-scale settings
+remain one assignment away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import SimulationError
+from ..core.policy import ConflictPolicy
+
+__all__ = ["INFINITE_RESOURCES", "SimulationParameters"]
+
+#: Sentinel for the infinite-resources configuration (no CPU/disk queueing;
+#: each operation simply takes ``step_time`` of simulated time).
+INFINITE_RESOURCES: Optional[int] = None
+
+
+@dataclass
+class SimulationParameters:
+    """All parameters of one simulation run (Tables IX and X)."""
+
+    # ----- database and workload shape -------------------------------------
+    #: Number of objects in the database.
+    database_size: int = 1000
+    #: Number of terminals issuing transactions.
+    num_terminals: int = 200
+    #: Minimum number of operations in a transaction.
+    min_length: int = 4
+    #: Maximum number of operations in a transaction.
+    max_length: int = 12
+    #: Level of multiprogramming (maximum concurrently active transactions).
+    mpl_level: int = 50
+
+    # ----- timing ------------------------------------------------------------
+    #: Execution time of each operation under infinite resources (seconds).
+    step_time: float = 0.05
+    #: CPU service time per operation when resources are finite (seconds).
+    cpu_time: float = 0.015
+    #: Disk service time per operation when resources are finite (seconds).
+    io_time: float = 0.035
+    #: Mean of the exponential think time between a terminal's transactions.
+    ext_think_time: float = 1.0
+
+    # ----- resources ----------------------------------------------------------
+    #: Number of resource units (1 CPU + 2 disks each); ``None`` = infinite.
+    resource_units: Optional[int] = INFINITE_RESOURCES
+
+    # ----- read/write workload -------------------------------------------------
+    #: Probability that an operation of the read/write workload is a write.
+    write_probability: float = 0.3
+
+    # ----- abstract-data-type workload ------------------------------------------
+    #: Number of operations defined on each object of the ADT workload.
+    operations_per_object: int = 4
+    #: Number of commutative entries per object compatibility table (P_c).
+    pc: int = 4
+    #: Number of recoverable entries per object compatibility table (P_r).
+    pr: int = 4
+
+    # ----- concurrency control ----------------------------------------------------
+    #: Conflict policy (commutativity baseline vs recoverability).
+    policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY
+    #: Fair scheduling at the object managers (Section 5.2).
+    fair_scheduling: bool = True
+    #: Whether a pseudo-committed transaction keeps occupying an mpl slot
+    #: until it durably commits (the paper counts it as active).
+    pseudo_commit_holds_slot: bool = True
+
+    # ----- run control -----------------------------------------------------------
+    #: Number of transaction completions after which the run stops.
+    total_completions: int = 2000
+    #: Completions ignored before metrics start accumulating (warm-up).
+    warmup_completions: int = 0
+    #: Random seed for the run.
+    seed: int = 1
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.core.errors.SimulationError` on nonsense values."""
+        if self.database_size <= 0:
+            raise SimulationError("database_size must be positive")
+        if self.num_terminals <= 0:
+            raise SimulationError("num_terminals must be positive")
+        if self.mpl_level <= 0:
+            raise SimulationError("mpl_level must be positive")
+        if not 0 < self.min_length <= self.max_length:
+            raise SimulationError("transaction length bounds must satisfy 0 < min <= max")
+        if self.step_time <= 0 or self.cpu_time <= 0 or self.io_time <= 0:
+            raise SimulationError("service times must be positive")
+        if self.ext_think_time < 0:
+            raise SimulationError("think time must be non-negative")
+        if self.resource_units is not None and self.resource_units <= 0:
+            raise SimulationError("resource_units must be positive (or None for infinite)")
+        if not 0.0 <= self.write_probability <= 1.0:
+            raise SimulationError("write_probability must lie in [0, 1]")
+        if self.operations_per_object <= 0:
+            raise SimulationError("operations_per_object must be positive")
+        table_cells = self.operations_per_object * self.operations_per_object
+        if self.pc < 0 or self.pc % 2 != 0:
+            raise SimulationError("pc must be a non-negative even integer")
+        if self.pr < 0:
+            raise SimulationError("pr must be non-negative")
+        if self.pc + self.pr > table_cells:
+            raise SimulationError("pc + pr cannot exceed the number of table entries")
+        if self.total_completions <= 0:
+            raise SimulationError("total_completions must be positive")
+        if not 0 <= self.warmup_completions < self.total_completions:
+            raise SimulationError("warmup_completions must be in [0, total_completions)")
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_transaction_length(self) -> float:
+        """Average number of operations per transaction."""
+        return (self.min_length + self.max_length) / 2.0
+
+    @property
+    def infinite_resources(self) -> bool:
+        """True when the run models no CPU/disk contention."""
+        return self.resource_units is None
+
+    @property
+    def num_cpus(self) -> int:
+        """Number of CPUs (one per resource unit); 0 under infinite resources."""
+        return 0 if self.resource_units is None else self.resource_units
+
+    @property
+    def num_disks(self) -> int:
+        """Number of disks (two per resource unit); 0 under infinite resources."""
+        return 0 if self.resource_units is None else 2 * self.resource_units
+
+    def replace(self, **overrides: object) -> "SimulationParameters":
+        """Return a copy with some fields overridden (validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def describe(self) -> Dict[str, object]:
+        """A flat dict of the parameter values (used by the report renderer)."""
+        description = dataclasses.asdict(self)
+        description["policy"] = str(self.policy)
+        description["resource_units"] = (
+            "infinite" if self.resource_units is None else self.resource_units
+        )
+        return description

@@ -1,0 +1,146 @@
+"""The resource model: CPUs and disks with FIFO queues (Section 5.1).
+
+The paper's model attaches a physical-resource phase to every operation once
+the concurrency-control request is granted:
+
+* under **infinite resources** each operation simply takes ``step_time`` of
+  simulated time — there is never any waiting for hardware;
+* under **finite resources** the system owns ``resource_units`` units, each a
+  CPU plus two disks.  An operation first needs a CPU from the shared pool
+  (waiting in a FIFO queue if none is free) for ``cpu_time`` seconds, then a
+  randomly chosen disk (each disk has its own FIFO queue) for ``io_time``
+  seconds.
+
+:class:`ResourceModel` hides the two cases behind a single
+``perform_step(done_callback)`` call so the simulator does not care which
+configuration is active.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .engine import EventEngine
+from .params import SimulationParameters
+from .random_source import RandomSource
+
+__all__ = ["FifoServer", "ResourceModel"]
+
+
+class FifoServer:
+    """A pool of identical servers with a single FIFO wait queue.
+
+    With ``capacity=1`` this is a single server (one disk); with a larger
+    capacity it models the shared CPU pool.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        self.free = capacity
+        self.queue: Deque[Callable[[], None]] = deque()
+        #: Total number of acquisitions that had to wait (utilisation metric).
+        self.waits = 0
+        #: Total number of acquisitions served.
+        self.served = 0
+
+    def acquire(self, callback: Callable[[], None]) -> None:
+        """Hand a server to ``callback`` now, or queue the request."""
+        if self.free > 0:
+            self.free -= 1
+            self.served += 1
+            callback()
+        else:
+            self.waits += 1
+            self.queue.append(callback)
+
+    def release(self) -> None:
+        """Return a server; the longest-waiting request (if any) gets it."""
+        if self.queue:
+            callback = self.queue.popleft()
+            self.served += 1
+            callback()
+        else:
+            self.free += 1
+
+    @property
+    def busy(self) -> int:
+        """Number of servers currently in use."""
+        return self.capacity - self.free
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FifoServer {self.name!r} busy={self.busy}/{self.capacity} queued={len(self.queue)}>"
+
+
+class ResourceModel:
+    """CPU/disk service for operation steps."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        params: SimulationParameters,
+        rng: RandomSource,
+    ):
+        self.engine = engine
+        self.params = params
+        self.rng = rng
+        if params.infinite_resources:
+            self.cpus: Optional[FifoServer] = None
+            self.disks: List[FifoServer] = []
+        else:
+            self.cpus = FifoServer("cpus", params.num_cpus)
+            self.disks = [FifoServer(f"disk{i}", 1) for i in range(params.num_disks)]
+
+    # ------------------------------------------------------------------
+    def perform_step(self, done: Callable[[], None]) -> None:
+        """Run the resource phase of one operation, then call ``done``.
+
+        Under infinite resources this is a single delay of ``step_time``;
+        under finite resources it is CPU service followed by disk service,
+        each with possible queueing.
+        """
+        if self.cpus is None:
+            self.engine.schedule(self.params.step_time, done)
+            return
+        self._acquire_cpu(done)
+
+    # ------------------------------------------------------------------
+    # Finite-resource pipeline
+    # ------------------------------------------------------------------
+    def _acquire_cpu(self, done: Callable[[], None]) -> None:
+        def got_cpu() -> None:
+            self.engine.schedule(self.params.cpu_time, cpu_finished)
+
+        def cpu_finished() -> None:
+            assert self.cpus is not None
+            self.cpus.release()
+            self._acquire_disk(done)
+
+        assert self.cpus is not None
+        self.cpus.acquire(got_cpu)
+
+    def _acquire_disk(self, done: Callable[[], None]) -> None:
+        disk = self.rng.choice(self.disks)
+
+        def got_disk() -> None:
+            self.engine.schedule(self.params.io_time, io_finished)
+
+        def io_finished() -> None:
+            disk.release()
+            done()
+
+        disk.acquire(got_disk)
+
+    # ------------------------------------------------------------------
+    def utilisation_summary(self) -> dict:
+        """Rough utilisation counters (served / waited) for reporting."""
+        if self.cpus is None:
+            return {"resources": "infinite"}
+        summary = {
+            "cpu_served": self.cpus.served,
+            "cpu_waits": self.cpus.waits,
+            "disk_served": sum(d.served for d in self.disks),
+            "disk_waits": sum(d.waits for d in self.disks),
+        }
+        return summary

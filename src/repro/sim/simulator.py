@@ -1,0 +1,288 @@
+"""The closed-queuing transaction-processing simulator (Section 5.1, Figure 3).
+
+One :class:`Simulation` object models the whole system of the paper's Figure 3:
+
+* a fixed population of terminals, each thinking for an exponential time and
+  then submitting a transaction;
+* a ready queue bounded by the multiprogramming level (``mpl_level``);
+* the recoverability- or commutativity-based scheduler of
+  :mod:`repro.core.scheduler` deciding, per operation, whether the request
+  executes, blocks, or aborts the transaction;
+* a resource phase per executed operation (constant ``step_time`` under
+  infinite resources; CPU then disk queueing under finite resources);
+* immediate restart of aborted transactions at the end of the ready queue,
+  re-executing the same operations;
+* completion at pseudo-commit or commit, after which the issuing terminal
+  starts thinking about its next transaction.
+
+The simulator communicates with the scheduler through the listener interface:
+grants of blocked requests, aborts chosen by the deadlock/cycle detector and
+durable commits of pseudo-committed transactions all arrive as callbacks, and
+the simulator reacts by scheduling zero-delay events so that it never re-enters
+the scheduler from inside one of its callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+from ..core.scheduler import (
+    AbortReason,
+    RequestHandle,
+    Scheduler,
+    SchedulerListener,
+)
+from ..core.specification import Event, Invocation
+from ..core.transaction import TransactionStatus
+from .engine import EventEngine
+from .metrics import MetricsCollector, RunMetrics
+from .params import SimulationParameters
+from .random_source import RandomSource
+from .resources import ResourceModel
+from .terminals import Terminal, TerminalPool
+from .workload import TransactionTemplate, Workload, make_workload
+
+__all__ = ["LogicalTransaction", "Simulation", "run_simulation"]
+
+
+@dataclass
+class LogicalTransaction:
+    """A terminal-submitted transaction, surviving across restarts.
+
+    The scheduler sees a fresh transaction id per attempt; the logical
+    transaction keeps the original submission time (response time includes
+    restart work) and the fixed operation list.
+    """
+
+    logical_id: int
+    terminal: Terminal
+    template: TransactionTemplate
+    submit_time: float
+    attempts: int = 0
+    steps_done: int = 0
+    scheduler_tid: Optional[int] = None
+    completed: bool = False
+    completion_time: Optional[float] = None
+    slot_released: bool = False
+
+    @property
+    def remaining_steps(self) -> int:
+        return len(self.template) - self.steps_done
+
+    def next_step(self) -> Tuple[str, Invocation]:
+        return self.template.steps[self.steps_done]
+
+
+class Simulation(SchedulerListener):
+    """One simulation run for a single parameter point and seed."""
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        workload_kind: str = "readwrite",
+        workload: Optional[Workload] = None,
+    ):
+        self.params = params
+        self.engine = EventEngine()
+        root_rng = RandomSource(params.seed)
+        self.workload_rng = root_rng.spawn("workload")
+        self.think_rng = root_rng.spawn("think")
+        self.resource_rng = root_rng.spawn("resources")
+        self.workload = workload or make_workload(params, self.workload_rng, workload_kind)
+        self.scheduler = Scheduler(
+            policy=params.policy,
+            fair=params.fair_scheduling,
+            record_history=False,
+            retain_terminated=False,
+        )
+        self.scheduler.add_listener(self)
+        self.workload.register_objects(self.scheduler)
+        self.resources = ResourceModel(self.engine, params, self.resource_rng)
+        self.terminals = TerminalPool(params.num_terminals)
+        self.metrics = MetricsCollector()
+
+        self.ready_queue: Deque[LogicalTransaction] = deque()
+        self.active_count = 0
+        self.completions = 0
+        self._next_logical_id = 0
+        self._by_scheduler_tid: Dict[int, LogicalTransaction] = {}
+        self._measuring = params.warmup_completions == 0
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> RunMetrics:
+        """Run until ``total_completions`` transactions complete."""
+        if max_events is None:
+            max_events = max(
+                2_000_000,
+                200 * self.params.total_completions * self.params.max_length,
+            )
+        self.metrics.begin_measurement(0.0, self.scheduler.stats)
+        for terminal in self.terminals:
+            terminal.think_then_submit(
+                self.engine, self.think_rng, self.params.ext_think_time, self._submit
+            )
+        self.engine.run(until=self._done, max_events=max_events)
+        return self.metrics.freeze(
+            self.engine.now, self.scheduler.stats, self.engine.events_processed
+        )
+
+    def _done(self) -> bool:
+        return self.completions >= self.params.total_completions
+
+    # ------------------------------------------------------------------
+    # Arrival, admission and the ready queue
+    # ------------------------------------------------------------------
+    def _submit(self, terminal: Terminal) -> None:
+        """A terminal submits a new transaction (Figure 3 arrival path)."""
+        if self._done():
+            return
+        self._next_logical_id += 1
+        terminal.submitted += 1
+        transaction = LogicalTransaction(
+            logical_id=self._next_logical_id,
+            terminal=terminal,
+            template=self.workload.next_transaction(),
+            submit_time=self.engine.now,
+        )
+        if self.active_count < self.params.mpl_level:
+            self._start(transaction)
+        else:
+            self.ready_queue.append(transaction)
+
+    def _start(self, transaction: LogicalTransaction) -> None:
+        """Begin a (possibly restarted) transaction at the scheduler."""
+        self.active_count += 1
+        transaction.attempts += 1
+        transaction.steps_done = 0
+        transaction.slot_released = False
+        scheduler_transaction = self.scheduler.begin(label=f"L{transaction.logical_id}")
+        transaction.scheduler_tid = scheduler_transaction.tid
+        self._by_scheduler_tid[scheduler_transaction.tid] = transaction
+        self._issue_next_operation(transaction)
+
+    def _admit_from_ready_queue(self) -> None:
+        while self.ready_queue and self.active_count < self.params.mpl_level:
+            self._start(self.ready_queue.popleft())
+
+    def _release_slot(self, transaction: LogicalTransaction) -> None:
+        """Free the transaction's multiprogramming slot exactly once."""
+        if transaction.slot_released:
+            return
+        transaction.slot_released = True
+        self.active_count -= 1
+        self._admit_from_ready_queue()
+
+    # ------------------------------------------------------------------
+    # Operation lifecycle
+    # ------------------------------------------------------------------
+    def _issue_next_operation(self, transaction: LogicalTransaction) -> None:
+        object_name, invocation = transaction.next_step()
+        assert transaction.scheduler_tid is not None
+        handle = self.scheduler.submit(transaction.scheduler_tid, object_name, invocation)
+        if handle.executed:
+            self._run_resource_phase(transaction)
+        # BLOCKED: wait for on_granted.  ABORTED: on_aborted already scheduled
+        # the restart — nothing to do here.
+
+    def _run_resource_phase(self, transaction: LogicalTransaction) -> None:
+        attempt = transaction.attempts
+
+        def finished() -> None:
+            self._operation_finished(transaction, attempt)
+
+        self.resources.perform_step(finished)
+
+    def _operation_finished(self, transaction: LogicalTransaction, attempt: int) -> None:
+        if transaction.attempts != attempt or transaction.completed:
+            # The attempt this resource phase belonged to was aborted (and the
+            # transaction restarted) while the CPU/disk work was in flight.
+            return
+        transaction.steps_done += 1
+        if transaction.steps_done < len(transaction.template):
+            self._issue_next_operation(transaction)
+        else:
+            self._complete(transaction)
+
+    # ------------------------------------------------------------------
+    # Completion (pseudo-commit or commit)
+    # ------------------------------------------------------------------
+    def _complete(self, transaction: LogicalTransaction) -> None:
+        assert transaction.scheduler_tid is not None
+        status = self.scheduler.commit(transaction.scheduler_tid)
+        transaction.completed = True
+        transaction.completion_time = self.engine.now
+        self.completions += 1
+        self._maybe_start_measuring()
+        if self._measuring:
+            self.metrics.record_completion(
+                response_time=self.engine.now - transaction.submit_time,
+                pseudo=status is TransactionStatus.PSEUDO_COMMITTED,
+            )
+        transaction.terminal.completed += 1
+        transaction.terminal.think_then_submit(
+            self.engine, self.think_rng, self.params.ext_think_time, self._submit
+        )
+        if status is TransactionStatus.COMMITTED:
+            self._by_scheduler_tid.pop(transaction.scheduler_tid, None)
+            self._release_slot(transaction)
+        elif not self.params.pseudo_commit_holds_slot:
+            self._release_slot(transaction)
+        # Otherwise the slot is held until the durable commit arrives through
+        # the on_committed callback.
+
+    def _maybe_start_measuring(self) -> None:
+        if self._measuring:
+            return
+        if self.completions >= self.params.warmup_completions:
+            self._measuring = True
+            self.metrics.begin_measurement(self.engine.now, self.scheduler.stats)
+
+    # ------------------------------------------------------------------
+    # SchedulerListener callbacks (never re-enter the scheduler directly)
+    # ------------------------------------------------------------------
+    def on_granted(self, transaction_id: int, handle: RequestHandle, event: Event) -> None:
+        transaction = self._by_scheduler_tid.get(transaction_id)
+        if transaction is None or transaction.completed:
+            return
+        self._run_resource_phase(transaction)
+
+    def on_aborted(self, transaction_id: int, reason: AbortReason) -> None:
+        transaction = self._by_scheduler_tid.pop(transaction_id, None)
+        if transaction is None or transaction.completed:
+            return
+        transaction.scheduler_tid = None
+        self.engine.schedule(0.0, lambda: self._restart(transaction))
+
+    def on_committed(self, transaction_id: int) -> None:
+        transaction = self._by_scheduler_tid.pop(transaction_id, None)
+        if transaction is None:
+            return
+        if self.params.pseudo_commit_holds_slot and transaction.completed:
+            self.engine.schedule(0.0, lambda: self._release_slot(transaction))
+
+    # ------------------------------------------------------------------
+    # Restarts
+    # ------------------------------------------------------------------
+    def _restart(self, transaction: LogicalTransaction) -> None:
+        """Requeue an aborted transaction at the end of the ready queue."""
+        if self._measuring:
+            self.metrics.record_restart()
+        self._release_slot(transaction)
+        if self._done():
+            return
+        self.ready_queue.append(transaction)
+        self._admit_from_ready_queue()
+
+
+def run_simulation(
+    params: SimulationParameters,
+    workload_kind: str = "readwrite",
+    max_events: Optional[int] = None,
+) -> RunMetrics:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(params, workload_kind=workload_kind).run(max_events=max_events)

@@ -1,0 +1,62 @@
+"""Terminals: the closed part of the closed queuing model.
+
+A fixed population of terminals issues transactions.  Each terminal has at
+most one outstanding transaction: after its current transaction *completes*
+(pseudo-commits or commits — the user-visible completion of Section 4.3), the
+terminal thinks for an exponentially distributed time and then submits the
+next one.  This is what makes the model *closed*: the offered load adapts to
+how fast the system completes work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .engine import EventEngine
+from .random_source import RandomSource
+
+__all__ = ["Terminal", "TerminalPool"]
+
+
+@dataclass
+class Terminal:
+    """One interactive terminal."""
+
+    terminal_id: int
+    #: Number of transactions this terminal has submitted so far.
+    submitted: int = 0
+    #: Number of its transactions that have completed.
+    completed: int = 0
+
+    def think_then_submit(
+        self,
+        engine: EventEngine,
+        rng: RandomSource,
+        mean_think_time: float,
+        submit: Callable[["Terminal"], None],
+    ) -> None:
+        """Schedule the terminal's next submission after a think time."""
+        delay = rng.exponential(mean_think_time)
+        engine.schedule(delay, lambda: submit(self))
+
+
+class TerminalPool:
+    """The population of terminals for one simulation run."""
+
+    def __init__(self, count: int):
+        self.terminals = [Terminal(terminal_id=i) for i in range(1, count + 1)]
+
+    def __iter__(self):
+        return iter(self.terminals)
+
+    def __len__(self) -> int:
+        return len(self.terminals)
+
+    @property
+    def total_submitted(self) -> int:
+        return sum(t.submitted for t in self.terminals)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(t.completed for t in self.terminals)

@@ -1,0 +1,238 @@
+"""Workload generators: the read/write model and the abstract-data-type model.
+
+Section 5 evaluates the protocol on two data models:
+
+* the **read/write model** (Section 5.5.1): every object is a page, every
+  operation is a ``read`` or a ``write`` (write probability 0.3), and objects
+  are chosen uniformly from the database;
+* the **abstract-data-type model** (Section 5.5.2): every object defines four
+  abstract operations whose semantics are given *only* by a per-object
+  compatibility table generated at random from two integers — ``P_c``
+  commutative entries (chosen as symmetric pairs) and ``P_r`` recoverable
+  entries among the rest; the remaining entries are non-recoverable.  All
+  operations of an object are equally likely.
+
+A workload owns object registration (so the simulator stays model-agnostic)
+and produces :class:`TransactionTemplate` objects — the fixed operation list a
+logical transaction executes, and re-executes identically after a restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adts.page import PageType
+from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.errors import SimulationError
+from ..core.scheduler import Scheduler
+from ..core.specification import (
+    FunctionalTypeSpecification,
+    Invocation,
+    OperationResult,
+    OperationSpec,
+)
+from .params import SimulationParameters
+from .random_source import RandomSource
+
+__all__ = [
+    "TransactionTemplate",
+    "Workload",
+    "ReadWriteWorkload",
+    "AbstractDataTypeWorkload",
+    "random_compatibility_table",
+    "make_workload",
+]
+
+
+@dataclass
+class TransactionTemplate:
+    """The fixed operation list of one logical transaction."""
+
+    steps: List[Tuple[str, Invocation]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class Workload:
+    """Base class for workload generators."""
+
+    #: Short name used in reports ("readwrite" / "adt").
+    name = "abstract"
+
+    def __init__(self, params: SimulationParameters, rng: RandomSource):
+        self.params = params
+        self.rng = rng
+
+    def register_objects(self, scheduler: Scheduler) -> None:
+        """Register every database object with the scheduler."""
+        raise NotImplementedError
+
+    def next_transaction(self) -> TransactionTemplate:
+        """Generate the operation list of a new transaction."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _transaction_length(self) -> int:
+        return self.rng.uniform_int(self.params.min_length, self.params.max_length)
+
+    def _object_name(self, index: int) -> str:
+        return f"obj{index:05d}"
+
+    def _random_object(self) -> str:
+        return self._object_name(self.rng.uniform_int(1, self.params.database_size))
+
+
+class ReadWriteWorkload(Workload):
+    """Uniform-access read/write transactions over page objects."""
+
+    name = "readwrite"
+
+    def __init__(self, params: SimulationParameters, rng: RandomSource):
+        super().__init__(params, rng)
+        self._page_type = PageType()
+
+    def register_objects(self, scheduler: Scheduler) -> None:
+        compatibility = self._page_type.compatibility()
+        for index in range(1, self.params.database_size + 1):
+            scheduler.register_object(
+                self._object_name(index),
+                self._page_type,
+                compatibility=compatibility,
+                materialize_state=True,
+            )
+
+    def next_transaction(self) -> TransactionTemplate:
+        steps: List[Tuple[str, Invocation]] = []
+        for _ in range(self._transaction_length()):
+            object_name = self._random_object()
+            if self.rng.bernoulli(self.params.write_probability):
+                steps.append((object_name, Invocation("write", (1,))))
+            else:
+                steps.append((object_name, Invocation("read")))
+        return TransactionTemplate(steps=steps)
+
+
+def random_compatibility_table(
+    operations: Sequence[str], pc: int, pr: int, rng: RandomSource, object_name: str = ""
+) -> CompatibilitySpec:
+    """Generate one object's random compatibility tables (Section 5.5.2).
+
+    ``pc / 2`` non-diagonal entries are drawn at random and marked commutative
+    together with their symmetric counterparts; ``pr`` of the remaining
+    entries are then drawn and marked recoverable; everything else is
+    non-recoverable.
+    """
+    operations = list(operations)
+    count = len(operations)
+    cells = count * count
+    if pc % 2 != 0:
+        raise SimulationError("pc must be even (commutative entries come in symmetric pairs)")
+    if pc + pr > cells:
+        raise SimulationError("pc + pr exceeds the number of compatibility-table entries")
+
+    non_diagonal_pairs = [
+        (operations[i], operations[j])
+        for i in range(count)
+        for j in range(count)
+        if i < j
+    ]
+    if pc // 2 > len(non_diagonal_pairs):
+        raise SimulationError("pc is larger than the number of non-diagonal entry pairs")
+
+    commutative: set = set()
+    for requested, executed in rng.sample(non_diagonal_pairs, pc // 2):
+        commutative.add((requested, executed))
+        commutative.add((executed, requested))
+
+    remaining = [
+        (requested, executed)
+        for requested in operations
+        for executed in operations
+        if (requested, executed) not in commutative
+    ]
+    recoverable = set(rng.sample(remaining, min(pr, len(remaining))))
+
+    commutativity = RelationTable(
+        name=f"random commutativity {object_name}".strip(),
+        operations=tuple(operations),
+        entries={pair: Answer.YES for pair in commutative},
+        default=Answer.NO,
+    )
+    recoverability = RelationTable(
+        name=f"random recoverability {object_name}".strip(),
+        operations=tuple(operations),
+        entries={pair: Answer.YES for pair in commutative | recoverable},
+        default=Answer.NO,
+    )
+    return CompatibilitySpec(
+        type_name=f"adt-object {object_name}".strip(),
+        commutativity=commutativity,
+        recoverability=recoverability,
+    )
+
+
+def _abstract_operation(name: str) -> OperationSpec:
+    """An operation with no executable semantics (behaviour given by tables)."""
+
+    def _noop(state: object, args: Tuple[object, ...]) -> OperationResult:
+        return OperationResult(state=state, value="ok")
+
+    return OperationSpec(name=name, function=_noop)
+
+
+class AbstractDataTypeWorkload(Workload):
+    """Objects with four abstract operations and random compatibility tables."""
+
+    name = "adt"
+
+    def __init__(self, params: SimulationParameters, rng: RandomSource):
+        super().__init__(params, rng)
+        self.operations = tuple(
+            f"op{i}" for i in range(1, params.operations_per_object + 1)
+        )
+        self._spec = FunctionalTypeSpecification(
+            name="adt-object",
+            initial_state=None,
+            operations={name: _abstract_operation(name) for name in self.operations},
+        )
+        #: Per-object compatibility tables (generated in ``register_objects``
+        #: so they are part of the run's reproducible random stream).
+        self.tables: Dict[str, CompatibilitySpec] = {}
+
+    def register_objects(self, scheduler: Scheduler) -> None:
+        table_rng = self.rng.spawn("adt-tables")
+        for index in range(1, self.params.database_size + 1):
+            name = self._object_name(index)
+            table = random_compatibility_table(
+                self.operations, self.params.pc, self.params.pr, table_rng, object_name=name
+            )
+            self.tables[name] = table
+            scheduler.register_object(
+                name,
+                self._spec,
+                compatibility=table,
+                materialize_state=False,
+            )
+
+    def next_transaction(self) -> TransactionTemplate:
+        steps: List[Tuple[str, Invocation]] = []
+        for _ in range(self._transaction_length()):
+            object_name = self._random_object()
+            operation = self.rng.choice(self.operations)
+            steps.append((object_name, Invocation(operation)))
+        return TransactionTemplate(steps=steps)
+
+
+def make_workload(
+    params: SimulationParameters, rng: RandomSource, kind: str = "readwrite"
+) -> Workload:
+    """Factory used by the simulator and the experiment layer."""
+    if kind == "readwrite":
+        return ReadWriteWorkload(params, rng)
+    if kind == "adt":
+        return AbstractDataTypeWorkload(params, rng)
+    raise SimulationError(f"unknown workload kind {kind!r} (expected 'readwrite' or 'adt')")

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.adts import (
+    CounterType,
+    PageType,
+    QueueType,
+    SetType,
+    StackType,
+    TableType,
+)
+from repro.core.policy import ConflictPolicy
+from repro.core.scheduler import Scheduler
+from repro.sim.params import SimulationParameters
+
+
+@pytest.fixture
+def page_type():
+    return PageType()
+
+
+@pytest.fixture
+def stack_type():
+    return StackType()
+
+
+@pytest.fixture
+def set_type():
+    return SetType()
+
+
+@pytest.fixture
+def table_type():
+    return TableType()
+
+
+@pytest.fixture
+def counter_type():
+    return CounterType()
+
+
+@pytest.fixture
+def queue_type():
+    return QueueType()
+
+
+@pytest.fixture
+def recoverability_scheduler():
+    """A fresh scheduler using the recoverability policy."""
+    return Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+
+
+@pytest.fixture
+def commutativity_scheduler():
+    """A fresh scheduler using the commutativity-only baseline."""
+    return Scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+
+
+@pytest.fixture
+def stack_scheduler(recoverability_scheduler, stack_type):
+    """Recoverability scheduler with a single stack object named ``S``."""
+    recoverability_scheduler.register_object("S", stack_type)
+    return recoverability_scheduler
+
+
+def small_sim_params(**overrides):
+    """Simulation parameters small enough for unit tests (sub-second runs)."""
+    defaults = dict(
+        database_size=60,
+        num_terminals=30,
+        mpl_level=10,
+        total_completions=60,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+@pytest.fixture
+def tiny_params():
+    return small_sim_params()

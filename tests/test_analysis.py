@@ -1,0 +1,225 @@
+"""Tests for the experiment harness, figure registry, tables, and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    AveragedMetrics,
+    ExperimentSpec,
+    Variant,
+    all_figure_ids,
+    compare_tables,
+    figure_spec,
+    paper_table_reports,
+    parameter_table,
+    render_result,
+    render_series,
+    render_summary,
+    run_experiment,
+)
+from repro.core.errors import ExperimentError
+from repro.core.policy import ConflictPolicy
+from repro.sim.metrics import RunMetrics
+from repro.sim.params import SimulationParameters
+
+
+def tiny_spec(**overrides):
+    base = SimulationParameters(
+        database_size=40, num_terminals=30, total_completions=60, seed=2
+    )
+    defaults = dict(
+        experiment_id="test-exp",
+        title="test experiment",
+        workload="readwrite",
+        base_params=base,
+        mpl_levels=(5, 15),
+        variants=(
+            Variant("commutativity", {"policy": ConflictPolicy.COMMUTATIVITY}),
+            Variant("recoverability", {"policy": ConflictPolicy.RECOVERABILITY}),
+        ),
+        metrics=("throughput", "blocking_ratio"),
+        runs=1,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def fake_metrics(throughput):
+    return RunMetrics(
+        simulated_time=10.0,
+        completions=int(throughput * 10),
+        commits=int(throughput * 10),
+        pseudo_commits=0,
+        response_time_total=5.0,
+        blocks=3,
+        restarts=1,
+        cycle_checks=4,
+        aborts=1,
+        abort_length_total=2,
+        commit_dependency_edges=0,
+        events_processed=100,
+    )
+
+
+class TestAveragedMetrics:
+    def test_from_runs_averages(self):
+        averaged = AveragedMetrics.from_runs([fake_metrics(10), fake_metrics(20)])
+        assert averaged.runs == 2
+        assert averaged.throughput == pytest.approx(15.0)
+
+    def test_from_zero_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            AveragedMetrics.from_runs([])
+
+    def test_metric_lookup(self):
+        averaged = AveragedMetrics.from_runs([fake_metrics(10)])
+        assert averaged.metric("throughput") == pytest.approx(10.0)
+        with pytest.raises(ExperimentError):
+            averaged.metric("latency_p99")
+
+
+class TestExperimentSpecValidation:
+    def test_valid_spec_passes(self):
+        tiny_spec().validate()
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(mpl_levels=()).validate()
+
+    def test_duplicate_variant_labels_rejected(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(
+                variants=(Variant("same", {}), Variant("same", {}))
+            ).validate()
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(runs=0).validate()
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(tiny_spec())
+
+    def test_all_points_present(self, result):
+        assert set(result.points) == {"commutativity", "recoverability"}
+        for label in result.points:
+            assert set(result.points[label]) == {5, 15}
+
+    def test_series_and_peak(self, result):
+        series = result.series("recoverability", "throughput")
+        assert [level for level, _ in series] == [5, 15]
+        peak_level, peak_value = result.peak("recoverability")
+        assert peak_value == max(value for _, value in series)
+
+    def test_improvement_is_computable(self, result):
+        improvement = result.improvement("recoverability", "commutativity")
+        assert improvement > -1.0
+
+    def test_unknown_variant_raises(self, result):
+        with pytest.raises(ExperimentError):
+            result.series("optimistic", "throughput")
+
+    def test_progress_callback_is_invoked(self):
+        lines = []
+        run_experiment(tiny_spec(mpl_levels=(5,)), progress=lines.append)
+        assert len(lines) == 2
+        assert all("test-exp" in line for line in lines)
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(tiny_spec())
+
+    def test_render_series_has_one_row_per_level(self, result):
+        text = render_series(result)
+        assert "mpl" in text
+        assert len(text.splitlines()) == 1 + len(result.spec.mpl_levels)
+
+    def test_render_summary_mentions_peaks_and_improvement(self, result):
+        text = render_summary(result)
+        assert "peak" in text
+        assert "recoverability vs commutativity" in text
+
+    def test_render_result_includes_title_and_description(self, result):
+        text = render_result(result)
+        assert result.spec.title in text
+        assert "summary" in text
+
+
+class TestFigureRegistry:
+    def test_all_fifteen_figures_are_registered(self):
+        ids = all_figure_ids()
+        assert len(ids) == 15
+        assert ids[0] == "figure-4" and ids[-1] == "figure-18"
+
+    def test_every_figure_spec_builds_and_validates(self):
+        for figure_id in all_figure_ids():
+            spec = figure_spec(figure_id, SMOKE_SCALE)
+            spec.validate()
+            assert spec.experiment_id == figure_id
+            assert spec.runs == SMOKE_SCALE.runs
+            assert tuple(spec.mpl_levels) == SMOKE_SCALE.mpl_levels
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ExperimentError):
+            figure_spec("figure-99")
+
+    def test_scales_are_ordered_by_size(self):
+        assert (
+            SMOKE_SCALE.total_completions
+            < BENCH_SCALE.total_completions
+            < PAPER_SCALE.total_completions
+        )
+
+    def test_workloads_and_resources_match_the_paper(self):
+        assert figure_spec("figure-4", SMOKE_SCALE).workload == "readwrite"
+        assert figure_spec("figure-14", SMOKE_SCALE).workload == "adt"
+        assert figure_spec("figure-10", SMOKE_SCALE).base_params.resource_units == 5
+        assert figure_spec("figure-11", SMOKE_SCALE).base_params.resource_units == 1
+        assert figure_spec("figure-8", SMOKE_SCALE).base_params.fair_scheduling is False
+        adt_15 = figure_spec("figure-15", SMOKE_SCALE)
+        assert all(variant.overrides["pc"] == 2 for variant in adt_15.variants)
+
+    def test_figure_metrics_match_what_the_paper_plots(self):
+        assert figure_spec("figure-5", SMOKE_SCALE).metrics == ("response_time",)
+        assert figure_spec("figure-6", SMOKE_SCALE).metrics == (
+            "blocking_ratio",
+            "restart_ratio",
+        )
+        assert figure_spec("figure-7", SMOKE_SCALE).metrics == (
+            "cycle_check_ratio",
+            "abort_length",
+        )
+
+
+class TestTables:
+    def test_paper_table_reports_cover_the_four_types(self):
+        reports = paper_table_reports()
+        assert [report.type_name for report in reports] == ["page", "stack", "set", "table"]
+        assert all(report.all_sound for report in reports)
+
+    def test_stack_set_table_match_exactly(self):
+        for type_name in ("stack", "set", "table"):
+            report = compare_tables(type_name)
+            assert report.exact_matches == len(report.comparisons)
+
+    def test_page_refinement_is_reported(self):
+        report = compare_tables("page")
+        refinements = report.refinements
+        assert len(refinements) == 1
+        assert (refinements[0].requested, refinements[0].executed) == ("write", "write")
+
+    def test_render_contains_both_table_names(self):
+        text = compare_tables("stack").render()
+        assert "Table III" in text and "Table IV" in text
+
+    def test_parameter_table_lists_nominal_values(self):
+        text = parameter_table()
+        assert "database_size" in text
+        assert "1000" in text
+        assert "write_probability" in text

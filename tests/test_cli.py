@@ -1,0 +1,90 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListCommand:
+    def test_lists_every_figure_and_table(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for figure_number in range(4, 19):
+            assert f"figure-{figure_number}" in text
+        for type_name in ("page", "stack", "set", "table"):
+            assert f"tables ({type_name})" in text
+
+
+class TestTablesCommand:
+    def test_single_type(self):
+        code, text = run_cli("tables", "--type", "stack")
+        assert code == 0
+        assert "Table III" in text and "Table IV" in text
+        assert "Table I " not in text
+
+    def test_all_types_include_parameters(self):
+        code, text = run_cli("tables")
+        assert code == 0
+        assert "Table I" in text and "Table VII" in text
+        assert "database_size" in text
+
+
+class TestFigureCommand:
+    def test_runs_a_smoke_scale_figure_and_saves_report(self, tmp_path):
+        code, text = run_cli("figure", "figure-4", "--scale", "smoke", "--output", str(tmp_path))
+        assert code == 0
+        assert "figure-4" in text
+        assert "recoverability" in text
+        saved = (tmp_path / "figure-4.txt").read_text()
+        assert "summary (throughput)" in saved
+
+    def test_unknown_figure_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("figure", "figure-99")
+
+
+class TestSimulateCommand:
+    def test_prints_all_metrics(self):
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--policy", "commutativity",
+        )
+        assert code == 0
+        for metric in ("throughput", "response_time", "blocking_ratio", "restart_ratio"):
+            assert metric in text
+
+    def test_adt_workload_and_unfair_flag(self):
+        code, text = run_cli(
+            "simulate",
+            "--workload", "adt",
+            "--database-size", "40",
+            "--mpl", "6",
+            "--completions", "40",
+            "--pc", "2",
+            "--pr", "8",
+            "--unfair",
+        )
+        assert code == 0
+        assert "throughput" in text
+
+    def test_finite_resources(self):
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "6",
+            "--completions", "40",
+            "--resource-units", "1",
+        )
+        assert code == 0
+        assert "throughput" in text

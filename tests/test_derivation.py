@@ -1,0 +1,176 @@
+"""Tests for deriving compatibility tables from executable specifications."""
+
+import pytest
+
+from repro.adts import CounterType, PageType, QueueType, SetType, StackType, TableType
+from repro.core.compatibility import Answer
+from repro.core.derivation import (
+    check_declared_sound,
+    derive_commutativity_answer,
+    derive_commutativity_table,
+    derive_compatibility,
+    derive_recoverability_answer,
+    derive_recoverability_table,
+    invocation_recoverable,
+    invocations_commute,
+)
+from repro.core.specification import Invocation
+
+
+class TestPointwiseChecks:
+    def test_two_inserts_commute(self, set_type):
+        assert invocations_commute(set_type, Invocation("insert", (1,)), Invocation("insert", (2,)))
+
+    def test_delete_same_element_does_not_commute(self, set_type):
+        assert not invocations_commute(
+            set_type, Invocation("insert", (1,)), Invocation("delete", (1,))
+        )
+
+    def test_push_not_commutative_but_recoverable(self, stack_type):
+        push1, push2 = Invocation("push", (1,)), Invocation("push", (2,))
+        assert not invocations_commute(stack_type, push1, push2)
+        assert invocation_recoverable(stack_type, push1, push2)
+
+    def test_pop_not_recoverable_relative_to_push(self, stack_type):
+        assert not invocation_recoverable(stack_type, Invocation("pop"), Invocation("push", (1,)))
+
+    def test_write_recoverable_relative_to_read_and_write(self, page_type):
+        write = Invocation("write", (1,))
+        assert invocation_recoverable(page_type, write, Invocation("read"))
+        assert invocation_recoverable(page_type, write, Invocation("write", (7,)))
+
+    def test_read_not_recoverable_relative_to_write(self, page_type):
+        assert not invocation_recoverable(page_type, Invocation("read"), Invocation("write", (7,)))
+
+    def test_size_not_recoverable_relative_to_insert(self, table_type):
+        assert not invocation_recoverable(
+            table_type, Invocation("size"), Invocation("insert", ("k", "v"))
+        )
+
+    def test_insert_recoverable_relative_to_size(self, table_type):
+        assert invocation_recoverable(
+            table_type, Invocation("insert", ("k", "v")), Invocation("size")
+        )
+
+    def test_explicit_state_sample_overrides(self, set_type):
+        # Over a sample containing only the empty set, deleting and checking
+        # membership of the same element *looks* commutative; the richer
+        # default sample exposes the counterexample.
+        assert invocations_commute(
+            set_type,
+            Invocation("member", (1,)),
+            Invocation("delete", (1,)),
+            states=[frozenset()],
+        )
+        assert not invocations_commute(
+            set_type, Invocation("member", (1,)), Invocation("delete", (1,))
+        )
+
+
+class TestDerivedAnswers:
+    def test_page_read_read_is_yes(self, page_type):
+        assert derive_commutativity_answer(page_type, "read", "read") is Answer.YES
+
+    def test_page_write_write_commutativity_is_yes_sp(self, page_type):
+        assert derive_commutativity_answer(page_type, "write", "write") is Answer.YES_SP
+
+    def test_page_write_write_recoverability_is_yes(self, page_type):
+        assert derive_recoverability_answer(page_type, "write", "write") is Answer.YES
+
+    def test_page_read_write_is_no_both_ways(self, page_type):
+        assert derive_commutativity_answer(page_type, "read", "write") is Answer.NO
+        assert derive_recoverability_answer(page_type, "read", "write") is Answer.NO
+
+    def test_stack_push_push(self, stack_type):
+        assert derive_commutativity_answer(stack_type, "push", "push") is Answer.YES_SP
+        assert derive_recoverability_answer(stack_type, "push", "push") is Answer.YES
+
+    def test_stack_pop_pop_is_no(self, stack_type):
+        assert derive_commutativity_answer(stack_type, "pop", "pop") is Answer.NO
+        assert derive_recoverability_answer(stack_type, "pop", "pop") is Answer.NO
+
+    def test_stack_top_top_is_yes(self, stack_type):
+        assert derive_commutativity_answer(stack_type, "top", "top") is Answer.YES
+
+    def test_set_insert_insert_is_yes(self, set_type):
+        assert derive_commutativity_answer(set_type, "insert", "insert") is Answer.YES
+
+    def test_set_delete_rows_are_parameter_dependent(self, set_type):
+        assert derive_commutativity_answer(set_type, "delete", "delete") is Answer.YES_DP
+        assert derive_recoverability_answer(set_type, "delete", "insert") is Answer.YES_DP
+
+    def test_table_size_asymmetry(self, table_type):
+        assert derive_recoverability_answer(table_type, "insert", "size") is Answer.YES
+        assert derive_recoverability_answer(table_type, "size", "insert") is Answer.NO
+
+    def test_table_modify_recoverable_relative_to_modify(self, table_type):
+        assert derive_recoverability_answer(table_type, "modify", "modify") is Answer.YES
+
+
+class TestDerivedTables:
+    @pytest.mark.parametrize("factory", [StackType, SetType, TableType])
+    def test_declared_tables_match_derivation_exactly(self, factory):
+        spec = factory()
+        declared = spec.compatibility()
+        assert derive_commutativity_table(spec) == declared.commutativity
+        assert derive_recoverability_table(spec) == declared.recoverability
+
+    def test_page_declared_differs_only_on_write_write(self, page_type):
+        declared = page_type.compatibility()
+        derived = derive_compatibility(page_type)
+        differences = [
+            (requested, executed)
+            for requested in declared.operations
+            for executed in declared.operations
+            if declared.commutativity.answer(requested, executed)
+            is not derived.commutativity.answer(requested, executed)
+        ]
+        assert differences == [("write", "write")]
+        assert derived.recoverability == declared.recoverability
+
+    def test_derived_spec_carries_type_name(self, stack_type):
+        assert derive_compatibility(stack_type).type_name == "stack"
+
+
+class TestDeclaredSoundness:
+    @pytest.mark.parametrize(
+        "factory", [PageType, StackType, SetType, TableType, CounterType, QueueType]
+    )
+    def test_all_bundled_types_declare_sound_tables(self, factory):
+        assert check_declared_sound(factory()) == []
+
+    def test_unsound_declaration_is_reported(self, stack_type):
+        from repro.core.compatibility import CompatibilitySpec, RelationTable
+
+        # Claim that pop commutes with push — the semantics disagrees.
+        operations = ("push", "pop", "top")
+        lying = CompatibilitySpec(
+            type_name="stack",
+            commutativity=RelationTable(
+                name="lying", operations=operations, entries={("pop", "push"): Answer.YES}
+            ),
+            recoverability=RelationTable(name="empty", operations=operations, entries={}),
+        )
+        violations = check_declared_sound(stack_type, lying)
+        assert any(
+            v.requested == "pop" and v.executed == "push" and v.table.endswith("commutativity")
+            for v in violations
+        )
+
+    def test_commutativity_implies_recoverability_lemma1(self):
+        """Lemma 1: whenever the derivation says two operations commute, it
+        also says each is recoverable relative to the other."""
+        for factory in (PageType, StackType, SetType, TableType, CounterType, QueueType):
+            spec = factory()
+            derived = derive_compatibility(spec)
+            for requested in derived.operations:
+                for executed in derived.operations:
+                    commutative = derived.commutativity.answer(requested, executed)
+                    recoverable = derived.recoverability.answer(requested, executed)
+                    assert commutative.implies(recoverable), (
+                        spec.name,
+                        requested,
+                        executed,
+                        commutative,
+                        recoverable,
+                    )

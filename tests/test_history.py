@@ -1,0 +1,97 @@
+"""Tests for the execution-log machinery."""
+
+import pytest
+
+from repro.core.history import ExecutionLog, RecordKind
+from repro.core.specification import Invocation
+
+
+def build_paper_sequence_1():
+    """Sequence (1) of the paper: T2 reads through T1's uncommitted insert."""
+    log = ExecutionLog()
+    log.append_operation("X", Invocation("insert", (3,)), "ok", 1)
+    log.append_operation("X", Invocation("member", (3,)), "yes", 2)
+    log.append_operation("X", Invocation("insert", (7,)), "ok", 1)
+    log.append_operation("X", Invocation("delete", (3,)), "ok", 2)
+    return log
+
+
+class TestAppend:
+    def test_operations_get_increasing_sequence_numbers(self):
+        log = build_paper_sequence_1()
+        sequences = [event.sequence for event in log.events()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_append_event_reassigns_sequence(self):
+        log = ExecutionLog()
+        first = log.append_operation("X", Invocation("read"), 0, 1)
+        clone = log.append_event(first)
+        assert clone.sequence > first.sequence
+
+    def test_termination_records(self):
+        log = build_paper_sequence_1()
+        log.append_commit(1)
+        log.append_pseudo_commit(2)
+        log.append_abort(3)
+        kinds = [record.kind for record in log.records()]
+        assert kinds[-3:] == [RecordKind.COMMIT, RecordKind.PSEUDO_COMMIT, RecordKind.ABORT]
+
+
+class TestQueries:
+    def test_events_on_and_of(self):
+        log = build_paper_sequence_1()
+        log.append_operation("Y", Invocation("insert", (9,)), "ok", 1)
+        assert len(log.events_on("X")) == 4
+        assert len(log.events_on("Y")) == 1
+        assert [e.invocation.op for e in log.events_of(2)] == ["member", "delete"]
+
+    def test_object_names_in_first_touch_order(self):
+        log = build_paper_sequence_1()
+        log.append_operation("Y", Invocation("insert", (9,)), "ok", 1)
+        assert log.object_names() == ["X", "Y"]
+
+    def test_transactions_committed_aborted_active(self):
+        log = build_paper_sequence_1()
+        log.append_commit(1)
+        assert log.transactions() == {1, 2}
+        assert log.committed() == {1}
+        assert log.aborted() == set()
+        assert log.active() == {2}
+
+    def test_committed_before_and_terminated_before(self):
+        log = ExecutionLog()
+        log.append_operation("X", Invocation("read"), 0, 1)
+        log.append_commit(1)
+        event = log.append_operation("X", Invocation("read"), 0, 2)
+        log.append_abort(2)
+        assert log.committed_before(event.sequence) == {1}
+        assert log.terminated_before(event.sequence) == {1}
+
+    def test_len_and_iter(self):
+        log = build_paper_sequence_1()
+        assert len(log) == 4
+        assert len(list(iter(log))) == 4
+
+
+class TestWithoutTransactions:
+    def test_removal_preserves_other_records_and_sequences(self):
+        log = build_paper_sequence_1()
+        reduced = log.without_transactions({1})
+        assert [e.transaction_id for e in reduced.events()] == [2, 2]
+        original_sequences = [e.sequence for e in log.events() if e.transaction_id == 2]
+        assert [e.sequence for e in reduced.events()] == original_sequences
+
+    def test_original_log_is_untouched(self):
+        log = build_paper_sequence_1()
+        log.without_transactions({1})
+        assert len(log.events()) == 4
+
+
+class TestRender:
+    def test_render_uses_paper_notation(self):
+        log = build_paper_sequence_1()
+        log.append_commit(1)
+        text = log.render()
+        assert "X: (insert(3), 'ok', T1)" in text
+        assert "(commit, T1)" in text

@@ -1,0 +1,168 @@
+"""Tests for the per-object manager: classification, execution, removal."""
+
+import pytest
+
+from repro.adts import StackType, TableType
+from repro.core.compatibility import ConflictClass
+from repro.core.object_manager import ObjectManager, PendingRequest
+from repro.core.policy import ConflictPolicy
+from repro.core.specification import Invocation
+
+
+def make_stack_manager(**kwargs):
+    return ObjectManager(name="S", spec=StackType(), **kwargs)
+
+
+class TestClassification:
+    def test_empty_log_is_commutative(self):
+        manager = make_stack_manager()
+        result = manager.classify_request(Invocation("push", (1,)), 1, ConflictPolicy.RECOVERABILITY)
+        assert result.is_commutative and result.admissible
+
+    def test_own_operations_are_ignored(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (1,)), transaction_id=1, sequence=1)
+        result = manager.classify_request(Invocation("pop"), 1, ConflictPolicy.RECOVERABILITY)
+        assert result.is_commutative
+
+    def test_recoverable_classification(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (1,)), transaction_id=1, sequence=1)
+        result = manager.classify_request(Invocation("push", (2,)), 2, ConflictPolicy.RECOVERABILITY)
+        assert result.recoverable == {1}
+        assert result.admissible and not result.is_commutative
+
+    def test_conflict_classification(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (1,)), transaction_id=1, sequence=1)
+        result = manager.classify_request(Invocation("pop"), 2, ConflictPolicy.RECOVERABILITY)
+        assert result.conflicting == {1}
+        assert not result.admissible
+
+    def test_commutativity_policy_downgrades_recoverable(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (1,)), transaction_id=1, sequence=1)
+        result = manager.classify_request(Invocation("push", (2,)), 2, ConflictPolicy.COMMUTATIVITY)
+        assert result.conflicting == {1}
+        assert result.recoverable == set()
+
+    def test_conflict_wins_over_recoverable_for_same_transaction(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (1,)), transaction_id=1, sequence=1)
+        manager.execute(Invocation("pop"), transaction_id=1, sequence=2)
+        # push is recoverable w.r.t. both, pop conflicts with a later pop.
+        result = manager.classify_request(Invocation("pop"), 2, ConflictPolicy.RECOVERABILITY)
+        assert result.conflicting == {1}
+        assert 1 not in result.recoverable
+
+    def test_classify_pair_uses_parameter_semantics(self):
+        manager = ObjectManager(name="T", spec=TableType())
+        same_key = manager.classify_pair(
+            Invocation("insert", ("k", "x")),
+            Invocation("lookup", ("k",)),
+            ConflictPolicy.RECOVERABILITY,
+        )
+        different_key = manager.classify_pair(
+            Invocation("insert", ("k1", "x")),
+            Invocation("lookup", ("k2",)),
+            ConflictPolicy.RECOVERABILITY,
+        )
+        assert same_key is ConflictClass.RECOVERABLE
+        assert different_key is ConflictClass.COMMUTATIVE
+
+
+class TestBlockedQueue:
+    def test_blocked_conflicts_and_upto(self):
+        manager = make_stack_manager()
+        manager.enqueue_blocked(PendingRequest(transaction_id=1, invocation=Invocation("pop")))
+        manager.enqueue_blocked(PendingRequest(transaction_id=2, invocation=Invocation("pop")))
+        owners = manager.blocked_conflicts(Invocation("pop"), 3, ConflictPolicy.RECOVERABILITY)
+        assert owners == {1, 2}
+        only_first = manager.blocked_conflicts(
+            Invocation("pop"), 3, ConflictPolicy.RECOVERABILITY, upto=1
+        )
+        assert only_first == {1}
+
+    def test_blocked_conflicts_ignores_recoverable_pairs(self):
+        manager = make_stack_manager()
+        manager.enqueue_blocked(PendingRequest(transaction_id=1, invocation=Invocation("top")))
+        # push is recoverable relative to the blocked top, so fairness does
+        # not require the push to wait behind it.
+        owners = manager.blocked_conflicts(
+            Invocation("push", (1,)), 3, ConflictPolicy.RECOVERABILITY
+        )
+        assert owners == set()
+
+    def test_blocked_conflicts_skips_own_requests(self):
+        manager = make_stack_manager()
+        manager.enqueue_blocked(PendingRequest(transaction_id=1, invocation=Invocation("pop")))
+        assert manager.blocked_conflicts(Invocation("pop"), 1, ConflictPolicy.RECOVERABILITY) == set()
+
+    def test_remove_blocked_of(self):
+        manager = make_stack_manager()
+        manager.enqueue_blocked(PendingRequest(transaction_id=1, invocation=Invocation("pop")))
+        manager.enqueue_blocked(PendingRequest(transaction_id=2, invocation=Invocation("pop")))
+        removed = manager.remove_blocked_of(1)
+        assert [p.transaction_id for p in removed] == [1]
+        assert [p.transaction_id for p in manager.blocked] == [2]
+
+
+class TestExecutionAndRemoval:
+    def test_execute_updates_state_and_log(self):
+        manager = make_stack_manager()
+        event = manager.execute(Invocation("push", (4,)), transaction_id=1, sequence=1)
+        assert event.value == "ok"
+        assert manager.current_state == (4,)
+        assert manager.committed_state == ()
+        assert manager.live_transactions() == {1}
+
+    def test_commit_folds_operations_into_committed_state(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (4,)), 1, 1)
+        manager.execute(Invocation("push", (2,)), 2, 2)
+        manager.remove_transaction(1, commit=True)
+        assert manager.committed_state == (4,)
+        assert manager.current_state == (4, 2)
+        assert manager.live_transactions() == {2}
+
+    def test_abort_replays_survivors_over_committed_state(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (4,)), 1, 1)
+        manager.execute(Invocation("push", (2,)), 2, 2)
+        removed = manager.remove_transaction(1, commit=False)
+        assert [e.invocation.op for e in removed] == ["push"]
+        assert manager.committed_state == ()
+        assert manager.current_state == (2,)
+
+    def test_remove_unknown_transaction_is_noop(self):
+        manager = make_stack_manager()
+        assert manager.remove_transaction(42, commit=True) == []
+
+    def test_commit_respecting_dependency_order_matches_direct_execution(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (4,)), 1, 1)
+        manager.execute(Invocation("push", (2,)), 2, 2)
+        manager.remove_transaction(1, commit=True)
+        manager.remove_transaction(2, commit=True)
+        assert manager.committed_state == (4, 2)
+
+    def test_events_of(self):
+        manager = make_stack_manager()
+        manager.execute(Invocation("push", (4,)), 1, 1)
+        manager.execute(Invocation("push", (2,)), 2, 2)
+        assert [e.invocation.args for e in manager.events_of(1)] == [(4,)]
+
+    def test_unmaterialized_manager_skips_state(self):
+        manager = ObjectManager(
+            name="A", spec=StackType(), materialize_state=False
+        )
+        event = manager.execute(Invocation("push", (4,)), 1, 1)
+        assert event.value is None
+        assert manager.current_state == ()
+        manager.remove_transaction(1, commit=True)
+        assert manager.committed_state == ()
+
+    def test_initial_state_override(self):
+        manager = ObjectManager(name="S", spec=StackType(), initial_state=(9,))
+        assert manager.current_state == (9,)
+        assert manager.committed_state == (9,)

@@ -1,0 +1,125 @@
+"""Tests for the recovery utilities: intentions lists and undo logs."""
+
+import pytest
+
+from repro.adts import CounterType, SetType, StackType
+from repro.core.errors import RecoveryError
+from repro.core.recovery import IntentionsList, UndoLog
+from repro.core.specification import Invocation
+
+
+class TestIntentionsList:
+    def test_record_and_apply(self, counter_type):
+        objects = {"C": counter_type.make_object("C")}
+        intentions = IntentionsList(transaction_id=1)
+        intentions.record("C", Invocation("increment", (5,)))
+        intentions.record("C", Invocation("increment", (3,)))
+        values = intentions.apply_to(objects)
+        assert values == ["ok", "ok"]
+        assert objects["C"].state == 8
+
+    def test_abort_is_just_clearing(self, counter_type):
+        objects = {"C": counter_type.make_object("C")}
+        intentions = IntentionsList(transaction_id=1)
+        intentions.record("C", Invocation("increment", (5,)))
+        intentions.clear()
+        assert len(intentions) == 0
+        assert objects["C"].state == 0
+
+    def test_drop_matches_the_paper_push_example(self, stack_type):
+        intentions = IntentionsList(transaction_id=1)
+        intentions.record("S", Invocation("push", (4,)))
+        intentions.record("S", Invocation("push", (2,)))
+        assert intentions.drop("S", Invocation("push", (4,)))
+        assert not intentions.drop("S", Invocation("push", (9,)))
+        assert [entry.invocation.args for entry in intentions.entries] == [(2,)]
+
+    def test_apply_to_unknown_object_raises(self):
+        intentions = IntentionsList(transaction_id=1)
+        intentions.record("missing", Invocation("increment"))
+        with pytest.raises(RecoveryError):
+            intentions.apply_to({})
+
+
+class TestUndoLogLogical:
+    def test_counter_undo_restores_value(self, counter_type):
+        objects = {"C": counter_type.make_object("C")}
+        undo = UndoLog(transaction_id=1)
+        for amount in (5, 3):
+            before = objects["C"].snapshot()
+            value = objects["C"].execute("increment", amount)
+            undo.record("C", counter_type, Invocation("increment", (amount,)), before, value)
+        assert objects["C"].state == 8
+        assert undo.undo_logical(objects) == 2
+        assert objects["C"].state == 0
+        assert len(undo) == 0
+
+    def test_read_only_operations_are_skipped(self, counter_type):
+        objects = {"C": counter_type.make_object("C")}
+        undo = UndoLog(transaction_id=1)
+        before = objects["C"].snapshot()
+        value = objects["C"].execute("read")
+        undo.record("C", counter_type, Invocation("read"), before, value)
+        assert undo.undo_logical(objects) == 0
+
+    def test_missing_inverse_raises(self, set_type):
+        objects = {"X": set_type.make_object("X")}
+        undo = UndoLog(transaction_id=1)
+        before = objects["X"].snapshot()
+        value = objects["X"].execute("insert", 3)
+        undo.record("X", set_type, Invocation("insert", (3,)), before, value)
+        with pytest.raises(RecoveryError):
+            undo.undo_logical(objects)
+
+    def test_stack_logical_undo_without_interleaving(self, stack_type):
+        objects = {"S": stack_type.make_object("S")}
+        undo = UndoLog(transaction_id=1)
+        before = objects["S"].snapshot()
+        value = objects["S"].execute("push", 4)
+        undo.record("S", stack_type, Invocation("push", (4,)), before, value)
+        undo.undo_logical(objects)
+        assert objects["S"].state == ()
+
+
+class TestUndoLogPhysical:
+    def test_physical_undo_restores_before_image(self, stack_type):
+        objects = {"S": stack_type.make_object("S")}
+        undo = UndoLog(transaction_id=1)
+        for element in (4, 2):
+            before = objects["S"].snapshot()
+            value = objects["S"].execute("push", element)
+            undo.record("S", stack_type, Invocation("push", (element,)), before, value)
+        assert undo.undo_physical(objects) == 1
+        assert objects["S"].state == ()
+
+    def test_unknown_object_raises(self, stack_type):
+        undo = UndoLog(transaction_id=1)
+        undo.record("S", stack_type, Invocation("push", (4,)), (), "ok")
+        with pytest.raises(RecoveryError):
+            undo.undo_physical({})
+
+
+class TestEquivalenceWithSchedulerReplay:
+    def test_logical_undo_matches_scheduler_abort_for_commuting_updates(self, counter_type):
+        """For commuting updates (counter increments) logical undo and the
+        scheduler's replay-based undo agree even with interleaving."""
+        from repro.core.policy import ConflictPolicy
+        from repro.core.scheduler import Scheduler
+
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("C", counter_type)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "C", "increment", 5)
+        scheduler.perform(t2.tid, "C", "increment", 3)
+        scheduler.abort(t1.tid)
+        scheduler.commit(t2.tid)
+        replay_result = scheduler.committed_state("C")
+
+        objects = {"C": counter_type.make_object("C")}
+        undo = UndoLog(transaction_id=1)
+        before = objects["C"].snapshot()
+        value = objects["C"].execute("increment", 5)
+        undo.record("C", counter_type, Invocation("increment", (5,)), before, value)
+        objects["C"].execute("increment", 3)
+        undo.undo_logical(objects)
+        assert objects["C"].state == replay_result == 3

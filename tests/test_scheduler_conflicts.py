@@ -1,0 +1,219 @@
+"""Deadlock detection, commit-dependency cycles, fairness, and policies."""
+
+import pytest
+
+from repro.adts import PageType, SetType, StackType
+from repro.core.policy import ConflictPolicy
+from repro.core.scheduler import AbortReason, Scheduler
+from repro.core.transaction import TransactionStatus
+
+
+def two_page_scheduler(policy=ConflictPolicy.RECOVERABILITY, fair=True):
+    scheduler = Scheduler(policy=policy, fair=fair)
+    scheduler.register_object("X", PageType())
+    scheduler.register_object("Y", PageType())
+    return scheduler
+
+
+class TestDeadlocks:
+    def test_classic_two_transaction_deadlock_is_broken(self):
+        scheduler = two_page_scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "X", "write", 1)
+        scheduler.perform(t2.tid, "Y", "write", 2)
+        first_wait = scheduler.perform(t1.tid, "Y", "read")
+        assert first_wait.blocked
+        closing = scheduler.perform(t2.tid, "X", "read")
+        assert closing.aborted
+        assert closing.abort_reason is AbortReason.DEADLOCK
+        assert scheduler.stats.deadlock_aborts == 1
+        # The victim's departure unblocks the other transaction.
+        assert first_wait.executed
+
+    def test_three_way_deadlock(self):
+        scheduler = Scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+        for name in ("X", "Y", "Z"):
+            scheduler.register_object(name, PageType())
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "X", "write", 1)
+        scheduler.perform(t2.tid, "Y", "write", 2)
+        scheduler.perform(t3.tid, "Z", "write", 3)
+        assert scheduler.perform(t1.tid, "Y", "read").blocked
+        assert scheduler.perform(t2.tid, "Z", "read").blocked
+        closing = scheduler.perform(t3.tid, "X", "read")
+        assert closing.aborted and closing.abort_reason is AbortReason.DEADLOCK
+
+    def test_no_false_deadlock_for_simple_waiting(self):
+        scheduler = two_page_scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "X", "write", 1)
+        handle = scheduler.perform(t2.tid, "X", "write", 2)
+        assert handle.blocked
+        scheduler.commit(t1.tid)
+        assert handle.executed
+        assert scheduler.stats.deadlock_aborts == 0
+
+    def test_recoverability_turns_this_deadlock_into_dependencies(self):
+        """The same access pattern under recoverability never waits — but the
+        crossing dependencies form a cycle, so the transaction that would
+        close it is aborted (by cycle detection, not deadlock detection)."""
+        scheduler = two_page_scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "X", "write", 1)
+        scheduler.perform(t2.tid, "Y", "write", 2)
+        # T1's write on Y is recoverable w.r.t. T2's write: executes with a
+        # commit dependency T1 -> T2.
+        assert scheduler.perform(t1.tid, "Y", "write", 3).executed
+        # T2's write on X would add T2 -> T1 and close the cycle, so T2 aborts.
+        closing = scheduler.perform(t2.tid, "X", "write", 4)
+        assert closing.aborted
+        assert closing.abort_reason is AbortReason.DEPENDENCY_CYCLE
+        assert scheduler.stats.blocks == 0
+        assert not scheduler.graph.has_cycle()
+        # T2's abort removed the dependency, so T1 commits directly.
+        assert scheduler.commit(t1.tid) is TransactionStatus.COMMITTED
+
+
+class TestCommitDependencyCycles:
+    def test_cycle_through_two_objects_aborts_the_closer(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("A", StackType())
+        scheduler.register_object("B", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "A", "push", 1)
+        scheduler.perform(t2.tid, "B", "push", 2)
+        # T2 pushes on A after T1: T2 -> T1.
+        assert scheduler.perform(t2.tid, "A", "push", 3).executed
+        # T1 pushing on B after T2 would add T1 -> T2, closing a cycle.
+        closing = scheduler.perform(t1.tid, "B", "push", 4)
+        assert closing.aborted
+        assert closing.abort_reason is AbortReason.DEPENDENCY_CYCLE
+        assert scheduler.stats.dependency_cycle_aborts == 1
+        # T2 survives and can commit (no cascading abort).
+        assert scheduler.commit(t2.tid) is TransactionStatus.COMMITTED
+
+    def test_mixed_wait_and_dependency_cycle(self):
+        """A cycle made of one wait-for edge and one commit-dependency edge."""
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("A", StackType())
+        scheduler.register_object("B", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "A", "push", 1)
+        scheduler.perform(t2.tid, "B", "push", 2)
+        # T2's pop on A conflicts with T1's push: wait-for edge T2 -> T1.
+        assert scheduler.perform(t2.tid, "A", "pop").blocked
+        # T1's push on B is recoverable w.r.t. T2's push: commit-dependency
+        # T1 -> T2 would close the cycle, so T1 is aborted instead.
+        closing = scheduler.perform(t1.tid, "B", "push", 3)
+        assert closing.aborted
+        assert closing.abort_reason is AbortReason.DEPENDENCY_CYCLE
+        # T2's blocked pop is granted once T1's push is undone.
+        assert scheduler.transaction(t2.tid).status is TransactionStatus.ACTIVE
+
+    def test_cycle_check_counter_increments_for_recoverable_executes(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("A", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "A", "push", 1)
+        before = scheduler.stats.cycle_checks
+        scheduler.perform(t2.tid, "A", "push", 2)
+        assert scheduler.stats.cycle_checks == before + 1
+
+
+class TestFairScheduling:
+    def test_fair_scheduler_blocks_behind_blocked_conflicting_request(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY, fair=True)
+        scheduler.register_object("S", StackType())
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        blocked = scheduler.perform(t2.tid, "S", "pop")       # waits behind the push
+        assert blocked.blocked
+        latecomer = scheduler.perform(t3.tid, "S", "pop")     # conflicts with the blocked pop
+        assert latecomer.blocked
+        # FIFO service: when T1 commits, T2's pop gets the element first; T3's
+        # pop now conflicts with T2's executed pop and keeps waiting.
+        scheduler.commit(t1.tid)
+        assert blocked.executed and blocked.value == 1
+        assert latecomer.blocked
+        # Once T2 also commits, T3 finally pops from the (now empty) stack.
+        scheduler.commit(t2.tid)
+        assert latecomer.executed and latecomer.value is None
+
+    def test_unfair_scheduler_lets_nonconflicting_requests_overtake(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY, fair=False)
+        scheduler.register_object("S", StackType())
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        assert scheduler.perform(t2.tid, "S", "pop").blocked
+        # Under unfair scheduling a push that does not conflict with the
+        # *executed* operations runs immediately, overtaking the blocked pop.
+        overtaking = scheduler.perform(t3.tid, "S", "push", 3)
+        assert overtaking.executed
+
+    def test_fairness_waiter_is_retried_when_blocker_aborts_without_executing(self):
+        """Regression: T3 waits (fairness) behind T2's queued pop; T2 never
+        executed anything on the stack.  When T2 aborts, T3 must be retried
+        even though the stack is not among T2's visited objects."""
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY, fair=True)
+        scheduler.register_object("S", StackType())
+        scheduler.register_object("P", PageType())
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        # T2 writes elsewhere, then queues a pop behind T1's push.
+        scheduler.perform(t2.tid, "P", "write", 9)
+        assert scheduler.perform(t2.tid, "S", "pop").blocked
+        # T3's pop conflicts with T2's queued pop (fairness) and with T1's push.
+        waiting = scheduler.perform(t3.tid, "S", "pop")
+        assert waiting.blocked
+        scheduler.abort(t2.tid)
+        # T1 is still active, so T3 keeps waiting for the push...
+        assert waiting.blocked
+        scheduler.commit(t1.tid)
+        # ...and is granted once T1 commits; without the retry-on-abort fix it
+        # would have been stranded behind a request that no longer exists.
+        assert waiting.executed and waiting.value == 1
+
+    def test_fair_scheduler_blocks_recoverable_push_behind_blocked_pop(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY, fair=True)
+        scheduler.register_object("S", StackType())
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        assert scheduler.perform(t2.tid, "S", "pop").blocked
+        # push is recoverable w.r.t. the blocked pop?  No: (push, pop) is
+        # recoverable, so fairness does not force it to wait.
+        assert scheduler.perform(t3.tid, "S", "push", 3).executed
+
+
+class TestPolicies:
+    def test_commutativity_policy_never_creates_commit_dependencies(self):
+        scheduler = Scheduler(policy=ConflictPolicy.COMMUTATIVITY)
+        scheduler.register_object("S", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        assert scheduler.perform(t2.tid, "S", "push", 2).blocked
+        assert scheduler.stats.commit_dependency_edges == 0
+        assert scheduler.commit(t1.tid) is TransactionStatus.COMMITTED
+
+    def test_recoverability_policy_avoids_waiting_for_noncommuting_pairs(self):
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("S", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 1)
+        assert scheduler.perform(t2.tid, "S", "push", 2).executed
+        assert scheduler.stats.blocks == 0
+        assert scheduler.stats.commit_dependency_edges == 1
+
+    def test_read_write_model_conflicts_match_the_paper(self):
+        """Under recoverability only (read, write) remains a conflict."""
+        scheduler = Scheduler(policy=ConflictPolicy.RECOVERABILITY)
+        scheduler.register_object("P", PageType())
+        t1, t2, t3, t4 = (scheduler.begin() for _ in range(4))
+        scheduler.perform(t1.tid, "P", "write", 10)
+        # write after write: recoverable, runs.
+        assert scheduler.perform(t2.tid, "P", "write", 20).executed
+        # read after write: conflict, blocks.
+        assert scheduler.perform(t3.tid, "P", "read").blocked
+        # read after read would commute, but fairness keeps FIFO order behind
+        # the blocked read?  A second read does not conflict with the blocked
+        # read, so it still blocks only because of the uncommitted writes.
+        assert scheduler.perform(t4.tid, "P", "read").blocked

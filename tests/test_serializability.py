@@ -1,0 +1,195 @@
+"""Tests for the offline soundness / serializability checkers."""
+
+import pytest
+
+from repro.adts import PageType, SetType, StackType
+from repro.core.dependency_graph import EdgeKind
+from repro.core.errors import SpecificationError
+from repro.core.history import ExecutionLog
+from repro.core.serializability import (
+    ObjectUniverse,
+    build_dependency_graph,
+    event_return_value,
+    is_event_sound,
+    is_log_sound,
+    is_rw_conflict_serializable,
+    is_serializable,
+    replay_object,
+    serialization_orders,
+    unsound_events,
+)
+from repro.core.specification import Invocation
+
+
+def stack_universe(*names):
+    return ObjectUniverse.uniform(StackType(), names)
+
+
+class TestObjectUniverse:
+    def test_uniform_builder(self):
+        universe = stack_universe("A", "B")
+        assert universe.spec_of("A").name == "stack"
+        assert universe.initial_state_of("B") == ()
+
+    def test_missing_spec_raises(self):
+        universe = stack_universe("A")
+        with pytest.raises(SpecificationError):
+            universe.spec_of("missing")
+
+    def test_initial_state_override(self):
+        universe = ObjectUniverse(specs={"A": StackType()}, initial_states={"A": (9,)})
+        assert universe.initial_state_of("A") == (9,)
+
+    def test_compatibility_defaults_to_declared(self):
+        universe = stack_universe("A")
+        assert universe.compatibility_of("A").type_name == "stack"
+
+
+class TestReplay:
+    def test_replay_object_threads_state(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("push", (2,)), "ok", 2)
+        log.append_operation("A", Invocation("pop"), 2, 1)
+        state, values = replay_object(log, stack_universe("A"), "A")
+        assert state == (1,)
+        assert values == ["ok", "ok", 2]
+
+    def test_event_return_value_uses_serial_prefix(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        event = log.append_operation("A", Invocation("top"), 1, 2)
+        assert event_return_value(log, stack_universe("A"), event) == 1
+
+    def test_event_not_in_log_raises(self):
+        log = ExecutionLog()
+        other = ExecutionLog()
+        event = other.append_operation("A", Invocation("top"), None, 1)
+        with pytest.raises(SpecificationError):
+            event_return_value(log, stack_universe("A"), event)
+
+
+class TestSoundness:
+    def test_recoverable_interleaving_is_sound(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("push", (2,)), "ok", 2)
+        assert is_log_sound(log, stack_universe("A"))
+
+    def test_dirty_read_is_unsound(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        event = log.append_operation("A", Invocation("top"), 1, 2)
+        assert not is_event_sound(log, stack_universe("A"), event)
+        assert unsound_events(log, stack_universe("A")) == [event]
+
+    def test_operation_after_commit_is_sound(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_commit(1)
+        event = log.append_operation("A", Invocation("top"), 1, 2)
+        assert is_event_sound(log, stack_universe("A"), event)
+
+    def test_non_exhaustive_mode_is_a_necessary_condition(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        event = log.append_operation("A", Invocation("top"), 1, 2)
+        assert not is_event_sound(log, stack_universe("A"), event, exhaustive=False)
+
+
+class TestDependencyGraphBuilding:
+    def test_recoverable_pairs_become_commit_dependency_edges(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("push", (2,)), "ok", 2)
+        graph = build_dependency_graph(log, stack_universe("A"))
+        assert graph.has_edge(2, 1, EdgeKind.COMMIT_DEPENDENCY)
+        assert not graph.has_edge(1, 2)
+
+    def test_conflicting_pairs_become_serialization_edges(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("pop"), 1, 2)
+        graph = build_dependency_graph(log, stack_universe("A"))
+        assert graph.has_edge(2, 1, EdgeKind.WAIT_FOR)
+
+    def test_commutative_pairs_add_no_edges(self):
+        log = ExecutionLog()
+        universe = ObjectUniverse.uniform(SetType(), ["X"])
+        log.append_operation("X", Invocation("insert", (1,)), "ok", 1)
+        log.append_operation("X", Invocation("insert", (2,)), "ok", 2)
+        graph = build_dependency_graph(log, universe)
+        assert graph.edge_count() == 0
+
+    def test_aborted_transactions_are_excluded_by_default(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("push", (2,)), "ok", 2)
+        log.append_abort(1)
+        graph = build_dependency_graph(log, stack_universe("A"))
+        assert graph.edge_count() == 0
+        graph_with = build_dependency_graph(log, stack_universe("A"), include_aborted=True)
+        assert graph_with.edge_count() == 1
+
+
+class TestSerializability:
+    def test_acyclic_dependencies_are_serializable(self):
+        log = ExecutionLog()
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("A", Invocation("push", (2,)), "ok", 2)
+        log.append_commit(1)
+        log.append_commit(2)
+        assert is_serializable(log, stack_universe("A"))
+        orders = serialization_orders(log, stack_universe("A"))
+        assert [1, 2] in orders
+        assert [2, 1] not in orders
+
+    def test_cross_object_cycle_is_not_serializable(self):
+        log = ExecutionLog()
+        universe = stack_universe("A", "B")
+        log.append_operation("A", Invocation("push", (1,)), "ok", 1)
+        log.append_operation("B", Invocation("push", (2,)), "ok", 2)
+        log.append_operation("A", Invocation("push", (3,)), "ok", 2)  # T2 after T1 on A
+        log.append_operation("B", Invocation("push", (4,)), "ok", 1)  # T1 after T2 on B
+        assert not is_serializable(log, universe)
+        log.append_commit(1)
+        log.append_commit(2)
+        assert serialization_orders(log, universe) == []
+
+    def test_commutative_only_history_allows_any_order(self):
+        log = ExecutionLog()
+        universe = ObjectUniverse.uniform(SetType(), ["X"])
+        log.append_operation("X", Invocation("insert", (1,)), "ok", 1)
+        log.append_operation("X", Invocation("insert", (2,)), "ok", 2)
+        log.append_commit(1)
+        log.append_commit(2)
+        assert sorted(serialization_orders(log, universe)) == [[1, 2], [2, 1]]
+
+
+class TestReadWriteSerializability:
+    def test_serializable_rw_history(self):
+        log = ExecutionLog()
+        log.append_operation("P", Invocation("read"), 0, 1)
+        log.append_operation("P", Invocation("write", (1,)), "ok", 1)
+        log.append_operation("P", Invocation("read"), 1, 2)
+        log.append_commit(1)
+        log.append_commit(2)
+        assert is_rw_conflict_serializable(log)
+
+    def test_non_serializable_rw_history(self):
+        log = ExecutionLog()
+        # Classic lost-update interleaving on two pages.
+        log.append_operation("P", Invocation("read"), 0, 1)
+        log.append_operation("Q", Invocation("read"), 0, 2)
+        log.append_operation("Q", Invocation("write", (1,)), "ok", 1)
+        log.append_operation("P", Invocation("write", (2,)), "ok", 2)
+        log.append_commit(1)
+        log.append_commit(2)
+        assert not is_rw_conflict_serializable(log)
+
+    def test_aborted_transactions_ignored(self):
+        log = ExecutionLog()
+        log.append_operation("P", Invocation("write", (1,)), "ok", 1)
+        log.append_operation("P", Invocation("write", (2,)), "ok", 2)
+        log.append_abort(2)
+        assert is_rw_conflict_serializable(log)

@@ -1,0 +1,186 @@
+"""Tests for the discrete-event engine, random source, and resource model."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import EventEngine
+from repro.sim.params import SimulationParameters
+from repro.sim.random_source import RandomSource
+from repro.sim.resources import FifoServer, ResourceModel
+
+
+class TestEventEngine:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_simultaneous_events_fire_fifo(self):
+        engine = EventEngine()
+        fired = []
+        for label in ("a", "b", "c"):
+            engine.schedule(1.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_time_rejected(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        engine = EventEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.events_processed == 1
+
+    def test_run_until_predicate(self):
+        engine = EventEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        engine.run(until=lambda: len(fired) >= 2)
+        assert fired == [0, 1]
+        assert engine.pending() == 3
+
+    def test_run_raises_if_queue_drains_before_condition(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.run(until=lambda: False)
+
+    def test_max_events_safety_valve(self):
+        engine = EventEngine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(until=lambda: False, max_events=10)
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a, b = RandomSource(42), RandomSource(42)
+        assert [a.uniform_int(1, 100) for _ in range(10)] == [
+            b.uniform_int(1, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = RandomSource(1), RandomSource(2)
+        assert [a.uniform_int(1, 1000) for _ in range(10)] != [
+            b.uniform_int(1, 1000) for _ in range(10)
+        ]
+
+    def test_exponential_mean_zero_returns_zero(self):
+        assert RandomSource(1).exponential(0.0) == 0.0
+
+    def test_exponential_is_positive(self):
+        rng = RandomSource(3)
+        assert all(rng.exponential(1.0) >= 0 for _ in range(100))
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(5)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_choice_sample_shuffle(self):
+        rng = RandomSource(7)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 3)
+        assert len(sample) == 3 and len(set(sample)) == 3
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # original untouched
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent_a, parent_b = RandomSource(9), RandomSource(9)
+        child_a, child_b = parent_a.spawn("workload"), parent_b.spawn("workload")
+        assert child_a.uniform_int(1, 10**6) == child_b.uniform_int(1, 10**6)
+        other = RandomSource(9).spawn("think")
+        assert other.seed != child_a.seed
+
+
+class TestFifoServer:
+    def test_acquire_release_without_contention(self):
+        server = FifoServer("cpu", 2)
+        served = []
+        server.acquire(lambda: served.append(1))
+        server.acquire(lambda: served.append(2))
+        assert served == [1, 2]
+        assert server.busy == 2
+        server.release()
+        assert server.busy == 1
+
+    def test_waiters_are_served_fifo(self):
+        server = FifoServer("cpu", 1)
+        served = []
+        server.acquire(lambda: served.append("first"))
+        server.acquire(lambda: served.append("second"))
+        server.acquire(lambda: served.append("third"))
+        assert served == ["first"]
+        assert server.waits == 2
+        server.release()
+        assert served == ["first", "second"]
+        server.release()
+        assert served == ["first", "second", "third"]
+        server.release()
+        assert server.free == 1
+
+
+class TestResourceModel:
+    def test_infinite_resources_take_step_time(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1)
+        model = ResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_step(lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(params.step_time)]
+        assert model.utilisation_summary() == {"resources": "infinite"}
+
+    def test_finite_resources_take_cpu_plus_io_time(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, resource_units=1)
+        model = ResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_step(lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(params.cpu_time + params.io_time)]
+        summary = model.utilisation_summary()
+        assert summary["cpu_served"] == 1 and summary["disk_served"] == 1
+
+    def test_cpu_contention_serialises_steps(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, resource_units=1)
+        model = ResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_step(lambda: done.append(engine.now))
+        model.perform_step(lambda: done.append(engine.now))
+        engine.run()
+        # The second step cannot start its CPU service before the first
+        # releases the only CPU.
+        assert done[1] >= params.cpu_time + params.io_time
+        assert done[1] >= done[0]
+
+    def test_resource_unit_counts(self):
+        params = SimulationParameters(total_completions=1, resource_units=3)
+        assert params.num_cpus == 3
+        assert params.num_disks == 6

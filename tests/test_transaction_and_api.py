@@ -1,0 +1,98 @@
+"""Tests for the transaction record, its status machine, and the public API."""
+
+import pytest
+
+import repro
+from repro.core import __all__ as core_all
+from repro.core.errors import TransactionStateError
+from repro.core.specification import Event, Invocation
+from repro.core.transaction import Transaction, TransactionStatus
+
+
+class TestTransactionStatus:
+    def test_terminated_statuses(self):
+        assert TransactionStatus.COMMITTED.is_terminated
+        assert TransactionStatus.ABORTED.is_terminated
+        assert not TransactionStatus.ACTIVE.is_terminated
+        assert not TransactionStatus.BLOCKED.is_terminated
+        assert not TransactionStatus.PSEUDO_COMMITTED.is_terminated
+
+    def test_live_statuses_include_pseudo_committed(self):
+        assert TransactionStatus.PSEUDO_COMMITTED.is_live
+        assert TransactionStatus.ACTIVE.is_live
+        assert TransactionStatus.BLOCKED.is_live
+        assert not TransactionStatus.COMMITTED.is_live
+        assert not TransactionStatus.ABORTED.is_live
+
+
+class TestTransactionRecord:
+    def make_event(self, object_name="S", op="push", args=(1,), tid=7, sequence=1):
+        return Event(object_name, Invocation(op, args), "ok", tid, sequence)
+
+    def test_require_accepts_allowed_statuses(self):
+        transaction = Transaction(tid=1)
+        transaction.require(TransactionStatus.ACTIVE)
+        transaction.require(TransactionStatus.ACTIVE, TransactionStatus.BLOCKED)
+
+    def test_require_rejects_other_statuses(self):
+        transaction = Transaction(tid=1, status=TransactionStatus.COMMITTED)
+        with pytest.raises(TransactionStateError):
+            transaction.require(TransactionStatus.ACTIVE)
+
+    def test_record_event_tracks_objects_and_count(self):
+        transaction = Transaction(tid=1)
+        transaction.record_event(self.make_event(object_name="S"))
+        transaction.record_event(self.make_event(object_name="X", op="insert"))
+        assert transaction.operation_count == 2
+        assert transaction.objects_visited == {"S", "X"}
+
+    def test_invocations_on_filters_by_object(self):
+        transaction = Transaction(tid=1)
+        transaction.record_event(self.make_event(object_name="S", op="push", args=(1,)))
+        transaction.record_event(self.make_event(object_name="X", op="insert", args=(2,)))
+        transaction.record_event(self.make_event(object_name="S", op="pop", args=()))
+        assert [i.op for i in transaction.invocations_on("S")] == ["push", "pop"]
+        assert transaction.invocations_on("missing") == []
+
+    def test_repr_mentions_status_and_objects(self):
+        transaction = Transaction(tid=3)
+        assert "T3" in repr(transaction)
+        assert "active" in repr(transaction)
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_all_names_resolve(self):
+        import repro.core as core
+
+        for name in core_all:
+            assert hasattr(core, name), name
+
+    def test_subpackages_import(self):
+        import repro.adts
+        import repro.analysis
+        import repro.sim
+
+        assert repro.adts.paper_types() == ["page", "stack", "set", "table"]
+        assert len(repro.analysis.all_figure_ids()) == 15
+        assert repro.sim.SimulationParameters().database_size == 1000
+
+    def test_headline_workflow_through_top_level_names_only(self):
+        scheduler = repro.Scheduler(policy=repro.ConflictPolicy.RECOVERABILITY)
+        from repro.adts import StackType
+
+        scheduler.register_object("S", StackType())
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.perform(t1.tid, "S", "push", 4)
+        scheduler.perform(t2.tid, "S", "push", 2)
+        assert scheduler.commit(t2.tid) is repro.TransactionStatus.PSEUDO_COMMITTED
+        assert scheduler.commit(t1.tid) is repro.TransactionStatus.COMMITTED
+        universe = repro.ObjectUniverse(specs={"S": StackType()})
+        assert repro.is_log_sound(scheduler.history, universe)
+        assert repro.is_serializable(scheduler.history, universe)
