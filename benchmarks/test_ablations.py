@@ -83,7 +83,10 @@ def test_ablation_write_probability(benchmark, results_dir):
         table = {}
         for probability in probabilities:
             row = {}
-            for policy in ConflictPolicy:
+            # The ablation isolates the semantic-policy gain, so only the two
+            # table-driven policies run (2PL at mpl=100 thrashes and would
+            # dominate the suite's wall-clock without informing this table).
+            for policy in (ConflictPolicy.COMMUTATIVITY, ConflictPolicy.RECOVERABILITY):
                 params = SimulationParameters(
                     mpl_level=100,
                     total_completions=400,

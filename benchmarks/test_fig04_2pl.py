@@ -1,0 +1,23 @@
+"""Figure 4 workload under the strict-2PL backend vs recoverability.
+
+Not a figure of the paper itself: it reproduces the paper's framing end-to-end
+by running the classical page-level strict two-phase-locking baseline against
+the recoverability protocol on the Figure 4 workload (read/write model,
+infinite resources).  The expected shape is the paper's qualitative ordering:
+2PL completes no more transactions per simulated second than recoverability
+at any multiprogramming level, and its peak sits clearly below.
+"""
+
+
+def test_figure_4_2pl_baseline(run_figure):
+    result = run_figure("figure-4-2pl")
+    locking = dict(result.series("2pl", "throughput"))
+    recoverability = dict(result.series("recoverability", "throughput"))
+    # Recoverability's peak beats the locking baseline's peak outright ...
+    _, locking_peak = result.peak("2pl")
+    _, recoverability_peak = result.peak("recoverability")
+    assert locking_peak > 0 and recoverability_peak > 0
+    assert recoverability_peak >= locking_peak * 1.05
+    # ... and 2PL never meaningfully exceeds recoverability at any level.
+    for level, locking_throughput in locking.items():
+        assert locking_throughput <= recoverability[level] * 1.05

@@ -1,4 +1,11 @@
-"""Make the examples runnable from a fresh checkout (no install required)."""
+"""Make the examples runnable from a fresh checkout (no install required).
+
+The checkout's ``src/`` goes first on ``sys.path`` so the examples always
+exercise the code they ship with, even when some other ``repro`` happens to
+be installed.  For imports outside the checkout, install the package with
+``pip install -e .`` (or ``python setup.py develop`` on machines without the
+``wheel`` package).
+"""
 
 import os
 import sys

@@ -26,6 +26,7 @@ from .core import (
     AbortReason,
     Answer,
     CompatibilitySpec,
+    ConcurrencyControlBackend,
     ConflictClass,
     ConflictPolicy,
     DependencyGraph,
@@ -43,8 +44,10 @@ from .core import (
     Scheduler,
     SchedulerListener,
     SchedulerStatistics,
+    SemanticBackend,
     Transaction,
     TransactionStatus,
+    TwoPhaseLockingBackend,
     TypeSpecification,
     check_declared_sound,
     derive_compatibility,
@@ -53,13 +56,14 @@ from .core import (
     is_serializable,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "AbortReason",
     "Answer",
     "CompatibilitySpec",
+    "ConcurrencyControlBackend",
     "ConflictClass",
     "ConflictPolicy",
     "DependencyGraph",
@@ -77,8 +81,10 @@ __all__ = [
     "Scheduler",
     "SchedulerListener",
     "SchedulerStatistics",
+    "SemanticBackend",
     "Transaction",
     "TransactionStatus",
+    "TwoPhaseLockingBackend",
     "TypeSpecification",
     "check_declared_sound",
     "derive_compatibility",

@@ -73,6 +73,11 @@ _POLICY_VARIANTS: Tuple[Variant, ...] = (
     Variant(label="recoverability", overrides={"policy": ConflictPolicy.RECOVERABILITY}),
 )
 
+_BACKEND_VARIANTS: Tuple[Variant, ...] = (
+    Variant(label="2pl", overrides={"policy": ConflictPolicy.TWO_PHASE_LOCKING}),
+    Variant(label="recoverability", overrides={"policy": ConflictPolicy.RECOVERABILITY}),
+)
+
 
 def _adt_variants(pc: int) -> Tuple[Variant, ...]:
     return tuple(
@@ -283,6 +288,30 @@ def figure_13(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
     )
 
 
+def figure_4_2pl(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
+    """Figure 4's workload under the strict-2PL backend vs recoverability.
+
+    Not a figure of the paper itself: it pits the paper's protocol against
+    the classical page-level strict two-phase-locking baseline end-to-end.
+    The expected shape is the paper's qualitative claim — 2PL completes no
+    more transactions per simulated second than recoverability, and the gap
+    widens with the multiprogramming level.
+    """
+    return ExperimentSpec(
+        experiment_id="figure-4-2pl",
+        title="Throughput: strict 2PL baseline vs recoverability (RW model)",
+        workload="readwrite",
+        base_params=_base_params(scale),
+        mpl_levels=scale.mpl_levels,
+        variants=_BACKEND_VARIANTS,
+        metrics=("throughput",),
+        runs=scale.runs,
+        description="The page-level strict-2PL backend reproduces the classical "
+        "baseline: its throughput should match the commutativity curve of "
+        "Figure 4 and stay at or below recoverability at every mpl level.",
+    )
+
+
 # ----------------------------------------------------------------------
 # Abstract-data-type model (Figures 14-18)
 # ----------------------------------------------------------------------
@@ -356,6 +385,7 @@ def figure_18(scale: ReproductionScale = BENCH_SCALE) -> ExperimentSpec:
 #: Registry mapping experiment ids to builder functions.
 FIGURE_BUILDERS: Dict[str, Callable[[ReproductionScale], ExperimentSpec]] = {
     "figure-4": figure_4,
+    "figure-4-2pl": figure_4_2pl,
     "figure-5": figure_5,
     "figure-6": figure_6,
     "figure-7": figure_7,

@@ -11,7 +11,8 @@ The CLI exposes the experiment harness without writing any Python:
     run one figure's experiment and print (and optionally save) the
     paper-style series and summary;
 ``python -m repro simulate [--mpl 50 --policy recoverability ...]``
-    run a single simulation point and print its metrics.
+    run a single simulation point and print its metrics; ``--policy 2pl``
+    selects the strict two-phase-locking baseline backend.
 """
 
 from __future__ import annotations

@@ -17,6 +17,13 @@ The subpackage is organised bottom-up:
   checkers used by the tests.
 """
 
+from .backends import (
+    ConcurrencyControlBackend,
+    LockMode,
+    SemanticBackend,
+    TwoPhaseLockingBackend,
+    make_backend,
+)
 from .compatibility import Answer, CompatibilitySpec, ConflictClass, RelationTable
 from .dependency_graph import DependencyGraph, Edge, EdgeKind
 from .derivation import (
@@ -70,6 +77,11 @@ from .specification import (
 from .transaction import Transaction, TransactionStatus
 
 __all__ = [
+    "ConcurrencyControlBackend",
+    "LockMode",
+    "SemanticBackend",
+    "TwoPhaseLockingBackend",
+    "make_backend",
     "Answer",
     "CompatibilitySpec",
     "ConflictClass",

@@ -1,0 +1,466 @@
+"""Pluggable concurrency-control backends.
+
+The :class:`~repro.core.scheduler.Scheduler` owns the machinery every
+concurrency-control protocol needs — the transaction table, the per-object
+managers with their blocked-request queues, the unified dependency graph, the
+statistics, history and listeners — and delegates the protocol *decisions* to
+a :class:`ConcurrencyControlBackend`:
+
+``admit``
+    decide whether a requested operation executes, blocks, or aborts its
+    transaction;
+``commit``
+    decide whether a completed transaction durably commits at once or must
+    wait (pseudo-commit);
+``abort``
+    abort a transaction (both user-requested and protocol-chosen victims route
+    through here);
+``on_terminate``
+    react to a termination: release protocol state (e.g. locks) and retry
+    blocked requests that may now be grantable.
+
+Two backends are provided:
+
+* :class:`SemanticBackend` — the paper's recoverability/commutativity protocol
+  (Figure 2 admission, commit dependencies, pseudo-commit), driven by the
+  compatibility tables through :class:`~repro.core.policy.ConflictPolicy`;
+* :class:`TwoPhaseLockingBackend` — the classical baseline the paper measures
+  against: page-level strict two-phase locking with shared/exclusive lock
+  modes, FIFO waiting, and deadlock detection via the same wait-for graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from .compatibility import ConflictClass
+from .dependency_graph import EdgeKind
+from .errors import ReproError, UnknownOperationError
+from .policy import ConflictPolicy
+from .requests import AbortReason, RequestHandle
+from .specification import Event, Invocation
+from .transaction import Transaction, TransactionStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .object_manager import ObjectManager
+    from .scheduler import Scheduler
+
+__all__ = [
+    "ConcurrencyControlBackend",
+    "SemanticBackend",
+    "TwoPhaseLockingBackend",
+    "LockMode",
+    "make_backend",
+]
+
+
+class ConcurrencyControlBackend:
+    """Protocol-specific half of the scheduler.
+
+    A backend is attached to exactly one scheduler and may keep per-run state
+    (the 2PL backend keeps its lock table here).  Subclasses must implement
+    :meth:`admit`, :meth:`commit` and :meth:`blocking_conflicts`; the shared
+    default implementations of :meth:`abort` and :meth:`on_terminate` cover
+    the common bookkeeping.
+    """
+
+    #: Short name used in reports and ``repr``.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.scheduler: "Scheduler" = None  # type: ignore[assignment]
+
+    def attach(self, scheduler: "Scheduler") -> None:
+        """Bind the backend to its scheduler (called once, at construction).
+
+        Backends hold per-run protocol state (the 2PL lock table, for one),
+        so an instance must not be shared between schedulers — stale locks
+        from a previous run would block the new one forever.
+        """
+        if self.scheduler is not None and self.scheduler is not scheduler:
+            raise ReproError(
+                f"{type(self).__name__} is already attached to a scheduler; "
+                "construct a fresh backend instance per Scheduler"
+            )
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    # Protocol decisions
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        transaction: Transaction,
+        manager: "ObjectManager",
+        handle: RequestHandle,
+        from_queue: bool,
+    ) -> None:
+        """Decide the fate of an operation request (execute/block/abort).
+
+        ``from_queue`` is True when the request is being re-admitted from an
+        object's blocked queue; its stale wait-for edges must be dropped.
+        """
+        raise NotImplementedError
+
+    def commit(self, transaction: Transaction) -> TransactionStatus:
+        """Commit a completed transaction; returns the resulting status."""
+        raise NotImplementedError
+
+    def abort(
+        self,
+        transaction: Transaction,
+        reason: AbortReason,
+        handle: Optional[RequestHandle] = None,
+    ) -> None:
+        """Abort a transaction (user request or protocol-chosen victim)."""
+        self.scheduler.internal_abort(transaction, reason, handle)
+
+    def on_terminate(self, transaction: Transaction, retry_objects: Set[str]) -> None:
+        """A transaction terminated: retry blocked requests that may now run."""
+        scheduler = self.scheduler
+        for object_name in sorted(retry_objects):
+            manager = scheduler.objects.get(object_name)
+            if manager is not None:
+                scheduler.retry_blocked(manager)
+
+    # ------------------------------------------------------------------
+    # Hooks used by the shared scheduler machinery
+    # ------------------------------------------------------------------
+    def after_execute(self, manager: "ObjectManager", event: Event) -> None:
+        """Called after every executed operation (blocked-waiter upkeep)."""
+
+    def blocking_conflicts(
+        self,
+        manager: "ObjectManager",
+        invocation: Invocation,
+        transaction_id: int,
+        upto: Optional[int] = None,
+    ) -> Set[int]:
+        """The transactions currently preventing ``invocation`` from running.
+
+        Used by the shared retry loop to decide whether a queued request is
+        still blocked, and against whom its wait-for edges should point.
+        ``upto`` restricts the fairness check to queue entries ahead of the
+        candidate.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SemanticBackend(ConcurrencyControlBackend):
+    """Recoverability/commutativity concurrency control (Sections 4.2-4.3).
+
+    Implements the operation-admission algorithm of Figure 2: a request is
+    classified against the uncommitted operations of other transactions; it
+    blocks behind conflicts (wait-for edges), executes immediately over
+    recoverable operations (commit-dependency edges), and the transaction is
+    aborted if either edge set would close a cycle.  Which classifications
+    count as conflicts is decided by the scheduler's
+    :class:`~repro.core.policy.ConflictPolicy`.
+    """
+
+    name = "semantic"
+
+    # ------------------------------------------------------------------
+    # Admission (Figure 2)
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        transaction: Transaction,
+        manager: "ObjectManager",
+        handle: RequestHandle,
+        from_queue: bool,
+    ) -> None:
+        scheduler = self.scheduler
+        invocation = handle.invocation
+        if from_queue:
+            # The request is leaving the blocked queue: its wait-for edges
+            # described the old conflict set and must not linger (they would
+            # cause spurious deadlock aborts later).
+            scheduler.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
+        classification = manager.classify_request(invocation, transaction.tid, scheduler.policy)
+        conflicting = set(classification.conflicting)
+        if scheduler.fair and not from_queue:
+            conflicting |= manager.blocked_conflicts(invocation, transaction.tid, scheduler.policy)
+
+        if conflicting:
+            scheduler.block_request(transaction, manager, handle, conflicting)
+            return
+
+        if classification.recoverable:
+            scheduler.stats.cycle_checks += 1
+            transaction.cycle_checks += 1
+            if scheduler.graph.creates_cycle(transaction.tid, classification.recoverable):
+                self.abort(transaction, AbortReason.DEPENDENCY_CYCLE, handle)
+                return
+            scheduler.graph.add_edges(
+                transaction.tid, classification.recoverable, EdgeKind.COMMIT_DEPENDENCY
+            )
+            scheduler.stats.commit_dependency_edges += len(classification.recoverable)
+
+        scheduler.execute_operation(transaction, manager, handle, from_queue=from_queue)
+
+    def after_execute(self, manager: "ObjectManager", event: Event) -> None:
+        """Keep blocked transactions' wait-for edges complete.
+
+        Every blocked request must hold wait-for edges to *all* transactions
+        with conflicting uncommitted operations, otherwise a deadlock can go
+        undetected.  When a new operation executes (either under unfair
+        scheduling or because a queued request was granted ahead of others),
+        blocked requests that conflict with it gain an edge to the executor;
+        if that edge closes a cycle the blocked transaction is the victim.
+        """
+        scheduler = self.scheduler
+        if not manager.blocked:
+            return
+        for pending in list(manager.blocked):
+            if pending.transaction_id == event.transaction_id:
+                continue
+            waiter = scheduler.transactions.get(pending.transaction_id)
+            if waiter is None or waiter.status is not TransactionStatus.BLOCKED:
+                continue
+            pairwise = manager.classify_pair(pending.invocation, event.invocation, scheduler.policy)
+            if pairwise is not ConflictClass.CONFLICT:
+                continue
+            if scheduler.graph.has_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR):
+                continue
+            scheduler.stats.cycle_checks += 1
+            waiter.cycle_checks += 1
+            if scheduler.graph.creates_cycle(waiter.tid, {event.transaction_id}):
+                self.abort(waiter, AbortReason.DEADLOCK)
+                continue
+            scheduler.graph.add_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR)
+            scheduler.stats.wait_for_edges += 1
+
+    # ------------------------------------------------------------------
+    # Commit protocol (Section 4.3)
+    # ------------------------------------------------------------------
+    def commit(self, transaction: Transaction) -> TransactionStatus:
+        scheduler = self.scheduler
+        if scheduler.graph.out_degree(transaction.tid) > 0:
+            return scheduler.record_pseudo_commit(transaction)
+        scheduler.finalize_commit(transaction)
+        return TransactionStatus.COMMITTED
+
+    # ------------------------------------------------------------------
+    # Retry support
+    # ------------------------------------------------------------------
+    def blocking_conflicts(
+        self,
+        manager: "ObjectManager",
+        invocation: Invocation,
+        transaction_id: int,
+        upto: Optional[int] = None,
+    ) -> Set[int]:
+        scheduler = self.scheduler
+        conflicting = set(
+            manager.classify_request(invocation, transaction_id, scheduler.policy).conflicting
+        )
+        if scheduler.fair:
+            conflicting |= manager.blocked_conflicts(
+                invocation, transaction_id, scheduler.policy, upto=upto
+            )
+        return conflicting
+
+
+class LockMode(enum.Enum):
+    """Lock modes of the strict-2PL backend."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def conflicts_with(self, other: "LockMode") -> bool:
+        """Two lock requests conflict unless both are shared."""
+        return self is LockMode.EXCLUSIVE or other is LockMode.EXCLUSIVE
+
+
+class TwoPhaseLockingBackend(ConcurrencyControlBackend):
+    """Page-level strict two-phase locking — the paper's classical baseline.
+
+    Every object carries one lock with shared/exclusive modes: an operation
+    whose :class:`~repro.core.specification.OperationSpec` is marked
+    ``is_read_only`` takes a shared lock, everything else an exclusive lock
+    (page-level locking is deliberately blind to operation semantics — that is
+    the point of the baseline).  Locks are held until the owning transaction
+    terminates (*strict* 2PL), so commits are always immediate and no commit
+    dependencies ever arise.  Waiting is FIFO per object, deadlocks are
+    detected with the scheduler's shared wait-for graph, and the requester
+    that would close a cycle is the victim — the same victim rule as the
+    semantic backend, which keeps the two backends comparable.
+    """
+
+    name = "two-phase-locking"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: object name -> {transaction id -> granted mode}
+        self._locks: Dict[str, Dict[int, LockMode]] = {}
+        #: transaction id -> object names where it holds a lock
+        self._held: Dict[int, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Lock-table helpers
+    # ------------------------------------------------------------------
+    def required_mode(self, manager: "ObjectManager", invocation: Invocation) -> LockMode:
+        """The lock mode ``invocation`` needs on ``manager``'s object."""
+        try:
+            operation = manager.spec.operation(invocation.op)
+        except UnknownOperationError:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED if operation.is_read_only else LockMode.EXCLUSIVE
+
+    def holders(self, object_name: str) -> Dict[int, LockMode]:
+        """Current lock holders of one object (empty when unlocked)."""
+        return dict(self._locks.get(object_name, {}))
+
+    def _lock_conflicts(
+        self, manager: "ObjectManager", mode: LockMode, transaction_id: int
+    ) -> Set[int]:
+        holders = self._locks.get(manager.name)
+        if not holders:
+            return set()
+        return {
+            tid
+            for tid, granted in holders.items()
+            if tid != transaction_id and mode.conflicts_with(granted)
+        }
+
+    def _queued_conflicts(
+        self,
+        manager: "ObjectManager",
+        mode: LockMode,
+        transaction_id: int,
+        upto: Optional[int] = None,
+    ) -> Set[int]:
+        queue = manager.blocked if upto is None else manager.blocked[:upto]
+        owners: Set[int] = set()
+        for pending in queue:
+            if pending.transaction_id == transaction_id:
+                continue
+            if mode.conflicts_with(self.required_mode(manager, pending.invocation)):
+                owners.add(pending.transaction_id)
+        return owners
+
+    def _acquire(self, object_name: str, transaction_id: int, mode: LockMode) -> bool:
+        """Grant (or extend) a lock; returns True when the table changed."""
+        holders = self._locks.setdefault(object_name, {})
+        current = holders.get(transaction_id)
+        changed = False
+        if current is not LockMode.EXCLUSIVE:
+            granted = mode if current is None else (
+                LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else current
+            )
+            changed = granted is not current
+            holders[transaction_id] = granted
+        self._held.setdefault(transaction_id, set()).add(object_name)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Protocol decisions
+    # ------------------------------------------------------------------
+    def _covered(self, held: Optional[LockMode], mode: LockMode) -> bool:
+        """True when a held lock already licenses a request of ``mode``."""
+        return held is LockMode.EXCLUSIVE or (held is not None and mode is LockMode.SHARED)
+
+    def admit(
+        self,
+        transaction: Transaction,
+        manager: "ObjectManager",
+        handle: RequestHandle,
+        from_queue: bool,
+    ) -> None:
+        scheduler = self.scheduler
+        if from_queue:
+            scheduler.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
+        mode = self.required_mode(manager, handle.invocation)
+        held = self._locks.get(manager.name, {}).get(transaction.tid)
+        if not self._covered(held, mode):
+            conflicting = self._lock_conflicts(manager, mode, transaction.tid)
+            # Fair FIFO queueing applies only to *new* lock requests.  An
+            # upgrade (shared held, exclusive needed) waits on the other
+            # holders alone: queueing it behind requests that are themselves
+            # waiting on its shared lock would manufacture a deadlock.
+            if held is None and scheduler.fair and not from_queue:
+                conflicting |= self._queued_conflicts(manager, mode, transaction.tid)
+            if conflicting:
+                scheduler.block_request(transaction, manager, handle, conflicting)
+                return
+        changed = self._acquire(manager.name, transaction.tid, mode)
+        scheduler.execute_operation(transaction, manager, handle, from_queue=from_queue)
+        # Waiters' conflict sets can only change when the lock table did, so
+        # operations under an already-held covering lock skip the refresh.
+        # (after_execute stays a no-op for this backend: the decision needs
+        # the acquire outcome, which lives in this frame — instance state
+        # would be clobbered if a listener ever re-entered the scheduler.)
+        if changed:
+            self._refresh_waiters(manager)
+
+    def _refresh_waiters(self, manager: "ObjectManager") -> None:
+        """Re-point waiters' wait-for edges after a lock grant or upgrade.
+
+        A newly granted (or upgraded) lock may add the grantee to the conflict
+        set of requests already waiting on the object; their wait-for edges
+        must reflect that or a deadlock could go undetected.
+        """
+        scheduler = self.scheduler
+        restart = True
+        while restart:
+            restart = False
+            # Iterate the live queue so ``upto`` always describes the current
+            # FIFO order.  The only mutating outcome is an abort (refresh
+            # returns True), whose termination cascade may dequeue or grant
+            # other waiters — restart the scan from a consistent view then.
+            for index, pending in enumerate(manager.blocked):
+                waiter = scheduler.transactions.get(pending.transaction_id)
+                if waiter is None or waiter.status is not TransactionStatus.BLOCKED:
+                    continue
+                conflicting = self.blocking_conflicts(
+                    manager, pending.invocation, pending.transaction_id, upto=index
+                )
+                if scheduler.refresh_wait_edges(waiter, conflicting):
+                    restart = True
+                    break
+
+    def commit(self, transaction: Transaction) -> TransactionStatus:
+        # Strict 2PL: all locks were held to this point, so the commit is
+        # always immediate — pseudo-commit never arises.
+        self.scheduler.finalize_commit(transaction)
+        return TransactionStatus.COMMITTED
+
+    def on_terminate(self, transaction: Transaction, retry_objects: Set[str]) -> None:
+        held = self._held.pop(transaction.tid, set())
+        for object_name in held:
+            holders = self._locks.get(object_name)
+            if holders is not None:
+                holders.pop(transaction.tid, None)
+                if not holders:
+                    del self._locks[object_name]
+        super().on_terminate(transaction, set(retry_objects) | held)
+
+    # ------------------------------------------------------------------
+    # Retry support
+    # ------------------------------------------------------------------
+    def blocking_conflicts(
+        self,
+        manager: "ObjectManager",
+        invocation: Invocation,
+        transaction_id: int,
+        upto: Optional[int] = None,
+    ) -> Set[int]:
+        mode = self.required_mode(manager, invocation)
+        held = self._locks.get(manager.name, {}).get(transaction_id)
+        if self._covered(held, mode):
+            return set()
+        conflicting = self._lock_conflicts(manager, mode, transaction_id)
+        if held is None and self.scheduler.fair:
+            conflicting |= self._queued_conflicts(manager, mode, transaction_id, upto=upto)
+        return conflicting
+
+
+def make_backend(policy: ConflictPolicy) -> ConcurrencyControlBackend:
+    """Construct the backend a :class:`~repro.core.policy.ConflictPolicy` selects."""
+    if policy is ConflictPolicy.TWO_PHASE_LOCKING:
+        return TwoPhaseLockingBackend()
+    return SemanticBackend()

@@ -59,6 +59,34 @@ class DependencyGraph:
         # successors[node][target] -> set of edge kinds
         self._successors: Dict[int, Dict[int, Set[EdgeKind]]] = {}
         self._predecessors: Dict[int, Set[int]] = {}
+        # Reachability cache: node -> set of nodes reachable from it (the node
+        # itself included only when it lies on a cycle).  Entries are evicted
+        # whenever a mutation can change the set — see _note_edge_added /
+        # _note_edge_removed — so a present entry is always exact.
+        self._reach_cache: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Reachability cache maintenance
+    # ------------------------------------------------------------------
+    def _note_edge_added(self, source: int) -> None:
+        """A new edge leaves ``source``: any cached set that contains
+        ``source`` (or is ``source``'s own) may have grown."""
+        if not self._reach_cache:
+            return
+        stale = [
+            node
+            for node, reach in self._reach_cache.items()
+            if node == source or source in reach
+        ]
+        for node in stale:
+            del self._reach_cache[node]
+
+    def _note_edge_removed(self, source: int) -> None:
+        """An edge leaving ``source`` is gone: any cached set that contains
+        ``source`` (or is ``source``'s own) may have shrunk."""
+        # Growth and shrinkage invalidate the same entries: exactly those
+        # whose walks could pass through ``source``.
+        self._note_edge_added(source)
 
     # ------------------------------------------------------------------
     # Nodes
@@ -91,6 +119,9 @@ class DependencyGraph:
             self._successors[predecessor].pop(node, None)
         del self._successors[node]
         del self._predecessors[node]
+        # Every removed edge either left ``node`` or pointed at it, so the
+        # affected cache entries are exactly those that mention ``node``.
+        self._note_edge_removed(node)
         return former_predecessors
 
     # ------------------------------------------------------------------
@@ -103,7 +134,12 @@ class DependencyGraph:
             return
         self.add_node(source)
         self.add_node(target)
-        self._successors[source].setdefault(target, set()).add(kind)
+        kinds = self._successors[source].setdefault(target, set())
+        if not kinds:
+            # Reachability only changes when the (source, target) pair gains
+            # its *first* edge; adding a second kind is a no-op for the cache.
+            self._note_edge_added(source)
+        kinds.add(kind)
         self._predecessors[target].add(source)
 
     def add_edges(self, source: int, targets: Iterable[int], kind: EdgeKind) -> None:
@@ -120,6 +156,7 @@ class DependencyGraph:
         """
         if source not in self._successors:
             return
+        dropped_any = False
         for target in list(self._successors[source]):
             kinds = self._successors[source][target]
             if kind is None:
@@ -129,6 +166,9 @@ class DependencyGraph:
             if not kinds:
                 del self._successors[source][target]
                 self._predecessors[target].discard(source)
+                dropped_any = True
+        if dropped_any:
+            self._note_edge_removed(source)
 
     def has_edge(self, source: int, target: int, kind: Optional[EdgeKind] = None) -> bool:
         kinds = self._successors.get(source, {}).get(target)
@@ -169,21 +209,32 @@ class DependencyGraph:
     # ------------------------------------------------------------------
     # Cycle detection
     # ------------------------------------------------------------------
-    def reachable(self, start: int, goal: int) -> bool:
-        """True if ``goal`` can be reached from ``start`` following edges."""
-        if start not in self._successors or goal not in self._successors:
-            return False
-        stack = [start]
+    def _reachable_set(self, start: int) -> Set[int]:
+        """The set of nodes reachable from ``start`` (cached).
+
+        ``start`` itself appears in the set only when it lies on a cycle.
+        """
+        cached = self._reach_cache.get(start)
+        if cached is not None:
+            return cached
         seen: Set[int] = set()
+        stack = list(self._successors.get(start, ()))
         while stack:
             node = stack.pop()
-            if node == goal:
-                return True
             if node in seen:
                 continue
             seen.add(node)
             stack.extend(self._successors.get(node, ()))
-        return False
+        self._reach_cache[start] = seen
+        return seen
+
+    def reachable(self, start: int, goal: int) -> bool:
+        """True if ``goal`` can be reached from ``start`` following edges."""
+        if start not in self._successors or goal not in self._successors:
+            return False
+        if start == goal:
+            return True
+        return goal in self._reachable_set(start)
 
     def creates_cycle(self, source: int, targets: Iterable[int]) -> bool:
         """Would adding edges ``source -> t`` for each target close a cycle?
@@ -195,7 +246,9 @@ class DependencyGraph:
         for target in targets:
             if target == source:
                 continue
-            if self.reachable(target, source):
+            if target not in self._successors or source not in self._successors:
+                continue
+            if source in self._reachable_set(target):
                 return True
         return False
 

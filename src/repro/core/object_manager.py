@@ -42,6 +42,22 @@ class PendingRequest:
 
 
 @dataclass
+class _OperationGroup:
+    """All uncommitted operations sharing one (op name, conflict parameter).
+
+    Classification depends on an invocation only through its operation name
+    and its :meth:`~repro.core.specification.TypeSpecification.conflict_parameter`,
+    so one representative invocation stands for the whole group.  ``owners``
+    counts live operations per transaction, which lets
+    :meth:`ObjectManager.classify_request` touch each *distinct* operation
+    once instead of walking the full uncommitted log.
+    """
+
+    invocation: Invocation
+    owners: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
 class Classification:
     """Outcome of classifying a request against the uncommitted operations.
 
@@ -111,16 +127,45 @@ class ObjectManager:
         self.uncommitted: List[Event] = []
         #: FIFO queue of blocked requests.
         self.blocked: List[PendingRequest] = []
+        #: Uncommitted operations grouped by (op name, conflict parameter);
+        #: kept in sync with ``uncommitted`` by ``execute``/``remove_transaction``.
+        self._op_groups: Dict[Any, _OperationGroup] = {}
+        #: Uncommitted events per transaction (same objects as ``uncommitted``).
+        self._events_by_tid: Dict[int, List[Event]] = {}
+        #: Memo of pairwise classifications, keyed by the two invocations'
+        #: (op, conflict parameter) pairs plus the policy.  Tables are fixed
+        #: for the manager's lifetime, so entries never go stale.
+        self._pair_cache: Dict[Any, ConflictClass] = {}
 
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
+    def _conflict_key(self, invocation: Invocation) -> Any:
+        """Hashable identity of an invocation for classification purposes,
+        or ``None`` when its conflict parameter is unhashable."""
+        try:
+            key = (invocation.op, self.spec.conflict_parameter(invocation))
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
     def classify_pair(
         self, requested: Invocation, executed: Invocation, policy: ConflictPolicy
     ) -> ConflictClass:
         """Classify one requested/executed invocation pair under ``policy``."""
-        pairwise = self.compatibility.classify(requested, executed, self.spec)
-        return effective_class(policy, pairwise)
+        requested_key = self._conflict_key(requested)
+        executed_key = self._conflict_key(executed)
+        if requested_key is None or executed_key is None:
+            pairwise = self.compatibility.classify(requested, executed, self.spec)
+            return effective_class(policy, pairwise)
+        cache_key = (requested_key, executed_key, policy)
+        cached = self._pair_cache.get(cache_key)
+        if cached is None:
+            pairwise = self.compatibility.classify(requested, executed, self.spec)
+            cached = effective_class(policy, pairwise)
+            self._pair_cache[cache_key] = cached
+        return cached
 
     def classify_request(
         self, invocation: Invocation, transaction_id: int, policy: ConflictPolicy
@@ -128,16 +173,35 @@ class ObjectManager:
         """Classify a request against every uncommitted operation of *other*
         transactions (a transaction never conflicts with itself)."""
         result = Classification()
-        for event in self.uncommitted:
-            if event.transaction_id == transaction_id:
+        if not self._op_groups:
+            return result
+        requested_key = self._conflict_key(invocation)
+        pair_cache = self._pair_cache
+        for group_key, group in self._op_groups.items():
+            owners = group.owners
+            if not owners or (len(owners) == 1 and transaction_id in owners):
                 continue
-            pairwise = self.classify_pair(invocation, event.invocation, policy)
+            # A hashable group's dict key *is* the executed side of the memo
+            # key, so the hot path costs one cache lookup per distinct group.
+            if requested_key is None or group_key[0] == "__unhashable__":
+                pairwise = self.classify_pair(invocation, group.invocation, policy)
+            else:
+                cache_key = (requested_key, group_key, policy)
+                pairwise = pair_cache.get(cache_key)
+                if pairwise is None:
+                    pairwise = effective_class(
+                        policy,
+                        self.compatibility.classify(invocation, group.invocation, self.spec),
+                    )
+                    pair_cache[cache_key] = pairwise
+            if pairwise is ConflictClass.COMMUTATIVE:
+                continue
+            others = [tid for tid in owners if tid != transaction_id]
             if pairwise is ConflictClass.CONFLICT:
-                result.conflicting.add(event.transaction_id)
-                result.recoverable.discard(event.transaction_id)
-            elif pairwise is ConflictClass.RECOVERABLE:
-                if event.transaction_id not in result.conflicting:
-                    result.recoverable.add(event.transaction_id)
+                result.conflicting.update(others)
+            else:
+                result.recoverable.update(others)
+        result.recoverable -= result.conflicting
         return result
 
     def blocked_conflicts(
@@ -186,15 +250,43 @@ class ObjectManager:
             sequence=sequence,
         )
         self.uncommitted.append(event)
+        self._events_by_tid.setdefault(transaction_id, []).append(event)
+        self._index_event(event)
         return event
+
+    def _index_event(self, event: Event) -> None:
+        key = self._conflict_key(event.invocation)
+        if key is None:
+            # Unhashable conflict parameter: give the event its own group so
+            # classification still sees it (just without any sharing).
+            key = ("__unhashable__", id(event))
+        group = self._op_groups.get(key)
+        if group is None:
+            group = self._op_groups[key] = _OperationGroup(invocation=event.invocation)
+        group.owners[event.transaction_id] = group.owners.get(event.transaction_id, 0) + 1
+
+    def _unindex_event(self, event: Event) -> None:
+        key = self._conflict_key(event.invocation)
+        if key is None:
+            key = ("__unhashable__", id(event))
+        group = self._op_groups.get(key)
+        if group is None:
+            return
+        count = group.owners.get(event.transaction_id, 0) - 1
+        if count > 0:
+            group.owners[event.transaction_id] = count
+        else:
+            group.owners.pop(event.transaction_id, None)
+            if not group.owners:
+                del self._op_groups[key]
 
     def live_transactions(self) -> Set[int]:
         """Transactions with at least one uncommitted operation here."""
-        return {event.transaction_id for event in self.uncommitted}
+        return set(self._events_by_tid)
 
     def events_of(self, transaction_id: int) -> List[Event]:
         """Uncommitted events of one transaction, in execution order."""
-        return [e for e in self.uncommitted if e.transaction_id == transaction_id]
+        return list(self._events_by_tid.get(transaction_id, ()))
 
     def remove_transaction(self, transaction_id: int, commit: bool) -> List[Event]:
         """Remove a transaction's operations from the uncommitted log.
@@ -205,22 +297,32 @@ class ObjectManager:
         uncommitted operations over the committed state — the paper's
         ``E || A_j`` semantics.
         """
-        removed = self.events_of(transaction_id)
+        removed = self._events_by_tid.pop(transaction_id, None)
         if not removed:
-            return removed
+            return []
+        self.uncommitted = [
+            e for e in self.uncommitted if e.transaction_id != transaction_id
+        ]
+        for event in removed:
+            self._unindex_event(event)
         if commit and self.materialize_state:
             state = self.committed_state
             for event in removed:
                 state = self.spec.next_state(state, event.invocation)
             self.committed_state = state
-        self.uncommitted = [
-            e for e in self.uncommitted if e.transaction_id != transaction_id
-        ]
         if self.materialize_state:
-            state = self.committed_state
-            for event in self.uncommitted:
-                state = self.spec.next_state(state, event.invocation)
-            self.current_state = state
+            if not self.uncommitted:
+                self.current_state = self.committed_state
+            elif commit and removed[-1].sequence < self.uncommitted[0].sequence:
+                # The committed operations formed a prefix of the uncommitted
+                # log, so folding them into the committed state leaves the
+                # visible state exactly as it was — no replay needed.
+                pass
+            else:
+                state = self.committed_state
+                for event in self.uncommitted:
+                    state = self.spec.next_state(state, event.invocation)
+                self.current_state = state
         return removed
 
     # ------------------------------------------------------------------

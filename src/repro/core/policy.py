@@ -26,7 +26,13 @@ __all__ = ["ConflictPolicy", "effective_class"]
 
 
 class ConflictPolicy(enum.Enum):
-    """How pairwise classifications are interpreted by the scheduler."""
+    """How conflicts between concurrent operations are decided.
+
+    The first two policies interpret the semantic compatibility tables; the
+    third ignores semantics entirely and selects the page-level strict
+    two-phase-locking backend (the classical baseline the paper compares
+    against).
+    """
 
     #: Conflict whenever the pair does not commute (the classical semantic
     #: locking baseline, e.g. Weihl-style commutativity locking).
@@ -34,6 +40,10 @@ class ConflictPolicy(enum.Enum):
     #: Conflict only when the pair is neither commutative nor recoverable;
     #: recoverable pairs execute and record a commit dependency.
     RECOVERABILITY = "recoverability"
+    #: Page-level strict two-phase locking: shared locks for read-only
+    #: operations, exclusive locks for everything else, all held to commit.
+    #: Selects :class:`repro.core.backends.TwoPhaseLockingBackend`.
+    TWO_PHASE_LOCKING = "2pl"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -44,8 +54,10 @@ def effective_class(policy: ConflictPolicy, pairwise: ConflictClass) -> Conflict
 
     Under the commutativity policy a ``RECOVERABLE`` pair is downgraded to a
     ``CONFLICT`` (the requester must wait); under the recoverability policy the
-    classification is used as-is.
+    classification is used as-is.  The 2PL policy never consults the tables at
+    run time (its backend uses lock modes); should it ever be asked, it is as
+    conservative as the commutativity baseline.
     """
-    if policy is ConflictPolicy.COMMUTATIVITY and pairwise is ConflictClass.RECOVERABLE:
+    if pairwise is ConflictClass.RECOVERABLE and policy is not ConflictPolicy.RECOVERABILITY:
         return ConflictClass.CONFLICT
     return pairwise

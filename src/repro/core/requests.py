@@ -1,0 +1,64 @@
+"""Caller-visible request objects shared by the scheduler and its backends.
+
+These classes used to live in :mod:`repro.core.scheduler`; they are split out
+so that concurrency-control backends (:mod:`repro.core.backends`) can use them
+without importing the scheduler module itself.  The scheduler re-exports them,
+so existing ``from repro.core.scheduler import RequestHandle`` imports keep
+working.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .specification import Invocation
+
+__all__ = ["RequestStatus", "AbortReason", "RequestHandle"]
+
+
+class RequestStatus(enum.Enum):
+    """Observable status of an operation request."""
+
+    EXECUTED = "executed"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    """Why the scheduler aborted a transaction."""
+
+    DEADLOCK = "deadlock"
+    DEPENDENCY_CYCLE = "commit-dependency cycle"
+    USER = "user abort"
+
+
+@dataclass
+class RequestHandle:
+    """The caller-visible result of :meth:`repro.core.scheduler.Scheduler.perform`.
+
+    A handle starts in the status the scheduler decided immediately
+    (``EXECUTED``, ``BLOCKED``, or ``ABORTED``).  A blocked handle is updated
+    in place when the request is granted or the transaction is later aborted,
+    so callers (and the simulator) can poll or react through listeners.
+    """
+
+    transaction_id: int
+    object_name: str
+    invocation: Invocation
+    status: Optional[RequestStatus] = None
+    value: Any = None
+    abort_reason: Optional[AbortReason] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.status is RequestStatus.EXECUTED
+
+    @property
+    def blocked(self) -> bool:
+        return self.status is RequestStatus.BLOCKED
+
+    @property
+    def aborted(self) -> bool:
+        return self.status is RequestStatus.ABORTED

@@ -1,22 +1,21 @@
-"""The recoverability-based concurrency-control scheduler (Sections 4.2-4.3).
+"""The concurrency-control scheduler (Sections 4.2-4.3).
 
 The :class:`Scheduler` is the public entry point of the library.  It owns one
 :class:`~repro.core.object_manager.ObjectManager` per registered object, the
 unified :class:`~repro.core.dependency_graph.DependencyGraph`, and the
-transaction table, and it implements:
+transaction table — the machinery *every* concurrency-control protocol needs —
+and delegates the protocol decisions (execute/block/abort, commit now or
+pseudo-commit, retry after a termination) to a pluggable
+:class:`~repro.core.backends.ConcurrencyControlBackend`:
 
-* the operation-admission algorithm of Figure 2 (classify a request against
-  uncommitted operations; block with wait-for edges, or execute with
-  commit-dependency edges, aborting the requester if either would close a
-  cycle);
-* *fair scheduling* (Section 5.2): an incoming request is blocked if it
-  conflicts with an already-blocked request, so blocked writers are not
-  starved — this can be switched off to reproduce Figures 8-9;
-* the commit protocol of Section 4.3: a transaction with outstanding commit
-  dependencies **pseudo-commits** (it is complete from the user's point of
-  view) and is durably committed once its node's out-degree drops to zero;
-* retry of blocked requests whenever a transaction that issued a conflicting
-  operation terminates.
+* the default :class:`~repro.core.backends.SemanticBackend` implements the
+  paper's recoverability/commutativity protocol: the operation-admission
+  algorithm of Figure 2, *fair scheduling* (Section 5.2), and the commit
+  protocol of Section 4.3 with pseudo-commit and cascaded durable commits;
+* :class:`~repro.core.backends.TwoPhaseLockingBackend` implements the
+  classical page-level strict-2PL baseline the paper compares against, and is
+  selected with ``ConflictPolicy.TWO_PHASE_LOCKING`` (or by passing a backend
+  instance directly).
 
 A minimal example::
 
@@ -36,16 +35,17 @@ A minimal example::
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
 
-from .compatibility import CompatibilitySpec, ConflictClass
+from .backends import ConcurrencyControlBackend, make_backend
+from .compatibility import CompatibilitySpec
 from .dependency_graph import DependencyGraph, EdgeKind
 from .errors import TransactionStateError, UnknownObjectError
 from .history import ExecutionLog
-from .object_manager import Classification, ObjectManager, PendingRequest
+from .object_manager import ObjectManager, PendingRequest
 from .policy import ConflictPolicy
+from .requests import AbortReason, RequestHandle, RequestStatus
 from .specification import Event, Invocation, TypeSpecification
 from .transaction import Transaction, TransactionStatus
 
@@ -57,52 +57,6 @@ __all__ = [
     "AbortReason",
     "Scheduler",
 ]
-
-
-class RequestStatus(enum.Enum):
-    """Observable status of an operation request."""
-
-    EXECUTED = "executed"
-    BLOCKED = "blocked"
-    ABORTED = "aborted"
-
-
-class AbortReason(enum.Enum):
-    """Why the scheduler aborted a transaction."""
-
-    DEADLOCK = "deadlock"
-    DEPENDENCY_CYCLE = "commit-dependency cycle"
-    USER = "user abort"
-
-
-@dataclass
-class RequestHandle:
-    """The caller-visible result of :meth:`Scheduler.perform`.
-
-    A handle starts in the status the scheduler decided immediately
-    (``EXECUTED``, ``BLOCKED``, or ``ABORTED``).  A blocked handle is updated
-    in place when the request is granted or the transaction is later aborted,
-    so callers (and the simulator) can poll or react through listeners.
-    """
-
-    transaction_id: int
-    object_name: str
-    invocation: Invocation
-    status: Optional[RequestStatus] = None
-    value: Any = None
-    abort_reason: Optional[AbortReason] = None
-
-    @property
-    def executed(self) -> bool:
-        return self.status is RequestStatus.EXECUTED
-
-    @property
-    def blocked(self) -> bool:
-        return self.status is RequestStatus.BLOCKED
-
-    @property
-    def aborted(self) -> bool:
-        return self.status is RequestStatus.ABORTED
 
 
 class SchedulerListener:
@@ -159,7 +113,11 @@ class SchedulerStatistics:
 
 
 class Scheduler:
-    """Recoverability-based concurrency control over a set of shared objects."""
+    """Concurrency control over a set of shared objects.
+
+    The protocol is chosen by ``policy`` (which selects the matching backend)
+    or overridden outright by passing a ``backend`` instance.
+    """
 
     def __init__(
         self,
@@ -167,6 +125,7 @@ class Scheduler:
         fair: bool = True,
         record_history: bool = True,
         retain_terminated: bool = True,
+        backend: Optional[ConcurrencyControlBackend] = None,
     ):
         self.policy = policy
         self.fair = fair
@@ -179,6 +138,8 @@ class Scheduler:
         self.transactions: Dict[int, Transaction] = {}
         self.stats = SchedulerStatistics()
         self.history: Optional[ExecutionLog] = ExecutionLog() if record_history else None
+        self.backend = backend if backend is not None else make_backend(policy)
+        self.backend.attach(self)
         self._listeners: List[SchedulerListener] = []
         self._next_tid = 0
         self._sequence = 0
@@ -263,59 +224,24 @@ class Scheduler:
             object_name=object_name,
             invocation=invocation,
         )
-        self._admit(transaction, manager, handle, from_queue=False)
+        self.backend.admit(transaction, manager, handle, from_queue=False)
         return handle
 
     # ------------------------------------------------------------------
-    # Admission (Figure 2)
+    # Shared machinery used by the backends
     # ------------------------------------------------------------------
-    def _admit(
-        self,
-        transaction: Transaction,
-        manager: ObjectManager,
-        handle: RequestHandle,
-        from_queue: bool,
-    ) -> None:
-        invocation = handle.invocation
-        if from_queue:
-            # The request is leaving the blocked queue: its wait-for edges
-            # described the old conflict set and must not linger (they would
-            # cause spurious deadlock aborts later).
-            self.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
-        classification = manager.classify_request(invocation, transaction.tid, self.policy)
-        conflicting = set(classification.conflicting)
-        if self.fair and not from_queue:
-            conflicting |= manager.blocked_conflicts(invocation, transaction.tid, self.policy)
-
-        if conflicting:
-            self._block(transaction, manager, handle, conflicting)
-            return
-
-        if classification.recoverable:
-            self.stats.cycle_checks += 1
-            transaction.cycle_checks += 1
-            if self.graph.creates_cycle(transaction.tid, classification.recoverable):
-                self._abort_internal(transaction, AbortReason.DEPENDENCY_CYCLE, handle)
-                return
-            self.graph.add_edges(
-                transaction.tid, classification.recoverable, EdgeKind.COMMIT_DEPENDENCY
-            )
-            self.stats.commit_dependency_edges += len(classification.recoverable)
-
-        self._execute(transaction, manager, handle, from_queue=from_queue)
-
-    def _block(
+    def block_request(
         self,
         transaction: Transaction,
         manager: ObjectManager,
         handle: RequestHandle,
         conflicting: Set[int],
     ) -> None:
-        """Step 1 of Figure 2: wait-for edges, deadlock check, then wait."""
+        """Block a request: wait-for edges, deadlock check, then wait."""
         self.stats.cycle_checks += 1
         transaction.cycle_checks += 1
         if self.graph.creates_cycle(transaction.tid, conflicting):
-            self._abort_internal(transaction, AbortReason.DEADLOCK, handle)
+            self.backend.abort(transaction, AbortReason.DEADLOCK, handle)
             return
         self.graph.add_edges(transaction.tid, conflicting, EdgeKind.WAIT_FOR)
         self.stats.wait_for_edges += len(conflicting)
@@ -328,16 +254,18 @@ class Scheduler:
                 transaction_id=transaction.tid, invocation=handle.invocation, payload=handle
             )
         )
+        transaction.blocked_at.add(manager.name)
         for listener in self._listeners:
             listener.on_blocked(transaction.tid, handle)
 
-    def _execute(
+    def execute_operation(
         self,
         transaction: Transaction,
         manager: ObjectManager,
         handle: RequestHandle,
         from_queue: bool,
-    ) -> None:
+    ) -> Event:
+        """Execute an admitted request and publish the result."""
         self._sequence += 1
         event = manager.execute(handle.invocation, transaction.tid, self._sequence)
         if self.history is not None:
@@ -352,64 +280,93 @@ class Scheduler:
                 listener.on_granted(transaction.tid, handle, event)
             else:
                 listener.on_executed(transaction.tid, handle, event)
-        self._refresh_waiters_after_execute(manager, event)
+        self.backend.after_execute(manager, event)
+        return event
 
-    def _refresh_waiters_after_execute(self, manager: ObjectManager, event: Event) -> None:
-        """Keep blocked transactions' wait-for edges complete.
+    def refresh_wait_edges(self, transaction: Transaction, conflicting: Set[int]) -> bool:
+        """Re-point a blocked transaction's wait-for edges at ``conflicting``.
 
-        Every blocked request must hold wait-for edges to *all* transactions
-        with conflicting uncommitted operations, otherwise a deadlock can go
-        undetected.  When a new operation executes (either under unfair
-        scheduling or because a queued request was granted ahead of others),
-        blocked requests that conflict with it gain an edge to the executor;
-        if that edge closes a cycle the blocked transaction is the victim.
+        Returns ``True`` if doing so would close a cycle, in which case the
+        waiter is aborted (deadlock victim) and the caller should rescan.
         """
-        if not manager.blocked:
-            return
-        for pending in list(manager.blocked):
-            if pending.transaction_id == event.transaction_id:
-                continue
-            waiter = self.transactions.get(pending.transaction_id)
-            if waiter is None or waiter.status is not TransactionStatus.BLOCKED:
-                continue
-            pairwise = manager.classify_pair(pending.invocation, event.invocation, self.policy)
-            if pairwise is not ConflictClass.CONFLICT:
-                continue
-            if self.graph.has_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR):
-                continue
-            self.stats.cycle_checks += 1
-            waiter.cycle_checks += 1
-            if self.graph.creates_cycle(waiter.tid, {event.transaction_id}):
-                self._abort_internal(waiter, AbortReason.DEADLOCK, handle=None)
-                continue
-            self.graph.add_edge(waiter.tid, event.transaction_id, EdgeKind.WAIT_FOR)
-            self.stats.wait_for_edges += 1
+        current = self.waiting_for(transaction.tid)
+        if current == conflicting:
+            return False
+        self.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
+        self.stats.cycle_checks += 1
+        transaction.cycle_checks += 1
+        if self.graph.creates_cycle(transaction.tid, conflicting):
+            self.backend.abort(transaction, AbortReason.DEADLOCK)
+            return True
+        self.graph.add_edges(transaction.tid, conflicting, EdgeKind.WAIT_FOR)
+        return False
+
+    def retry_blocked(self, manager: ObjectManager) -> None:
+        """Grant queued requests that no longer conflict, preserving fairness."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, pending in enumerate(list(manager.blocked)):
+                transaction = self.transactions.get(pending.transaction_id)
+                if transaction is None or transaction.status is not TransactionStatus.BLOCKED:
+                    manager.blocked.remove(pending)
+                    if transaction is not None:
+                        transaction.blocked_at.discard(manager.name)
+                    progressed = True
+                    break
+                conflicting = self.backend.blocking_conflicts(
+                    manager, pending.invocation, pending.transaction_id, upto=index
+                )
+                if conflicting:
+                    # Still blocked: make sure its wait-for edges describe the
+                    # *current* conflict set, otherwise a deadlock formed since
+                    # the original block could go undetected.
+                    if self.refresh_wait_edges(transaction, conflicting):
+                        # The refresh found a cycle and aborted the waiter.
+                        progressed = True
+                        break
+                    continue
+                manager.blocked.remove(pending)
+                transaction.blocked_at.discard(manager.name)
+                handle = pending.payload
+                if not isinstance(handle, RequestHandle):
+                    handle = RequestHandle(
+                        transaction_id=pending.transaction_id,
+                        object_name=manager.name,
+                        invocation=pending.invocation,
+                        status=RequestStatus.BLOCKED,
+                    )
+                self.backend.admit(transaction, manager, handle, from_queue=True)
+                progressed = True
+                break
 
     # ------------------------------------------------------------------
-    # Commit protocol (Section 4.3)
+    # Commit protocol
     # ------------------------------------------------------------------
     def commit(self, transaction_id: int) -> TransactionStatus:
         """Attempt to commit a transaction.
 
-        Returns ``COMMITTED`` when the transaction had no outstanding commit
-        dependencies, or ``PSEUDO_COMMITTED`` when it must wait for the
-        transactions it depends on to terminate first.  A blocked transaction
-        cannot commit (its last request has not executed).
+        Returns ``COMMITTED`` when the backend could commit immediately, or
+        ``PSEUDO_COMMITTED`` when the transaction must wait for the
+        transactions it depends on to terminate first (semantic backend
+        only).  A blocked transaction cannot commit (its last request has not
+        executed).
         """
         transaction = self.transaction(transaction_id)
         transaction.require(TransactionStatus.ACTIVE)
-        if self.graph.out_degree(transaction_id) > 0:
-            transaction.status = TransactionStatus.PSEUDO_COMMITTED
-            self.stats.pseudo_commits += 1
-            if self.history is not None:
-                self.history.append_pseudo_commit(transaction_id)
-            for listener in self._listeners:
-                listener.on_pseudo_committed(transaction_id)
-            return TransactionStatus.PSEUDO_COMMITTED
-        self._finalize_commit(transaction)
-        return TransactionStatus.COMMITTED
+        return self.backend.commit(transaction)
 
-    def _finalize_commit(self, transaction: Transaction) -> None:
+    def record_pseudo_commit(self, transaction: Transaction) -> TransactionStatus:
+        """Mark a transaction pseudo-committed and notify listeners."""
+        transaction.status = TransactionStatus.PSEUDO_COMMITTED
+        self.stats.pseudo_commits += 1
+        if self.history is not None:
+            self.history.append_pseudo_commit(transaction.tid)
+        for listener in self._listeners:
+            listener.on_pseudo_committed(transaction.tid)
+        return TransactionStatus.PSEUDO_COMMITTED
+
+    def finalize_commit(self, transaction: Transaction) -> None:
         """Durably commit a transaction whose dependencies have all terminated."""
         for object_name in transaction.objects_visited:
             self.objects[object_name].remove_transaction(transaction.tid, commit=True)
@@ -428,14 +385,15 @@ class Scheduler:
         """Abort an active or blocked transaction and undo its operations."""
         transaction = self.transaction(transaction_id)
         transaction.require(TransactionStatus.ACTIVE, TransactionStatus.BLOCKED)
-        self._abort_internal(transaction, reason, handle=None)
+        self.backend.abort(transaction, reason)
 
-    def _abort_internal(
+    def internal_abort(
         self,
         transaction: Transaction,
         reason: AbortReason,
-        handle: Optional[RequestHandle],
+        handle: Optional[RequestHandle] = None,
     ) -> None:
+        """Shared abort bookkeeping (invoked through the backend)."""
         self.stats.aborts += 1
         if reason is AbortReason.DEADLOCK:
             self.stats.deadlock_aborts += 1
@@ -451,7 +409,10 @@ class Scheduler:
         # other transactions may be waiting behind that request even though
         # the aborted transaction never executed anything on the object.
         retry_objects = set(transaction.objects_visited)
-        for manager in self.objects.values():
+        for object_name in sorted(transaction.blocked_at):
+            manager = self.objects.get(object_name)
+            if manager is None:
+                continue
             removed_pending = manager.remove_blocked_of(transaction.tid)
             if removed_pending:
                 retry_objects.add(manager.name)
@@ -460,6 +421,7 @@ class Scheduler:
                 if isinstance(pending_handle, RequestHandle):
                     pending_handle.status = RequestStatus.ABORTED
                     pending_handle.abort_reason = reason
+        transaction.blocked_at.clear()
         for object_name in transaction.objects_visited:
             self.objects[object_name].remove_transaction(transaction.tid, commit=False)
 
@@ -480,7 +442,7 @@ class Scheduler:
         self, transaction: Transaction, retry_objects: Optional[Set[str]] = None
     ) -> None:
         """Node removal, cascaded commits of pseudo-committed transactions,
-        and retry of blocked requests (Sections 4.2-4.3)."""
+        and backend-driven retry of blocked requests (Sections 4.2-4.3)."""
         former_predecessors = self.graph.remove_node(transaction.tid)
 
         # Only transactions that pointed at the removed node can have dropped
@@ -493,81 +455,16 @@ class Scheduler:
             if candidate.status is not TransactionStatus.PSEUDO_COMMITTED:
                 continue
             if self.graph.out_degree(candidate.tid) == 0:
-                self._finalize_commit(candidate)
+                self.finalize_commit(candidate)
 
-        # Retry blocked requests on the objects the terminated transaction
-        # visited (its departure may have removed the conflicts), plus any
-        # objects where it had a queued request dropped.
+        # Let the backend release protocol state (e.g. locks) and retry
+        # blocked requests on the objects the terminated transaction touched.
         if retry_objects is None:
             retry_objects = set(transaction.objects_visited)
-        for object_name in sorted(retry_objects):
-            manager = self.objects.get(object_name)
-            if manager is not None:
-                self._retry_blocked(manager)
+        self.backend.on_terminate(transaction, retry_objects)
 
         if not self.retain_terminated:
             self.transactions.pop(transaction.tid, None)
-
-    def _retry_blocked(self, manager: ObjectManager) -> None:
-        """Grant queued requests that no longer conflict, preserving fairness."""
-        progressed = True
-        while progressed:
-            progressed = False
-            for index, pending in enumerate(list(manager.blocked)):
-                transaction = self.transactions.get(pending.transaction_id)
-                if transaction is None or transaction.status is not TransactionStatus.BLOCKED:
-                    manager.blocked.remove(pending)
-                    progressed = True
-                    break
-                classification = manager.classify_request(
-                    pending.invocation, pending.transaction_id, self.policy
-                )
-                ahead_owners: Set[int] = set()
-                if self.fair:
-                    ahead_owners = manager.blocked_conflicts(
-                        pending.invocation, pending.transaction_id, self.policy, upto=index
-                    )
-                if classification.conflicting or ahead_owners:
-                    # Still blocked: make sure its wait-for edges describe the
-                    # *current* conflict set, otherwise a deadlock formed since
-                    # the original block could go undetected.
-                    if self._refresh_wait_edges(
-                        transaction, classification.conflicting | ahead_owners
-                    ):
-                        # The refresh found a cycle and aborted the waiter.
-                        progressed = True
-                        break
-                    continue
-                manager.blocked.remove(pending)
-                handle = pending.payload
-                if not isinstance(handle, RequestHandle):
-                    handle = RequestHandle(
-                        transaction_id=pending.transaction_id,
-                        object_name=manager.name,
-                        invocation=pending.invocation,
-                        status=RequestStatus.BLOCKED,
-                    )
-                self._admit(transaction, manager, handle, from_queue=True)
-                progressed = True
-                break
-
-    def _refresh_wait_edges(self, transaction: Transaction, conflicting: Set[int]) -> bool:
-        """Re-point a blocked transaction's wait-for edges at ``conflicting``.
-
-        Returns ``True`` if doing so would close a cycle, in which case the
-        waiter is aborted (deadlock victim) and the caller should rescan.
-        """
-        current = self.waiting_for(transaction.tid)
-        if current == conflicting:
-            return False
-        self.graph.remove_edges_from(transaction.tid, EdgeKind.WAIT_FOR)
-        self.stats.cycle_checks += 1
-        transaction.cycle_checks += 1
-        if self.graph.creates_cycle(transaction.tid, conflicting):
-            self._abort_internal(transaction, AbortReason.DEADLOCK, handle=None)
-            return True
-        self.graph.add_edges(transaction.tid, conflicting, EdgeKind.WAIT_FOR)
-        return False
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -63,6 +63,10 @@ class Transaction:
     #: Names of the objects this transaction has visited (executed at least
     #: one operation on) — the paper's "visits" relation.
     objects_visited: Set[str] = field(default_factory=set)
+    #: Objects where this transaction currently has a blocked request queued
+    #: (at most one in practice: a blocked transaction cannot issue more).
+    #: Lets abort drop queued requests without scanning every object manager.
+    blocked_at: Set[str] = field(default_factory=set)
     #: Number of times this transaction blocked (for the blocking ratio).
     blocks: int = 0
     #: Number of cycle-detection invocations charged to this transaction.

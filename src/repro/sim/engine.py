@@ -10,7 +10,6 @@ terminals (think-time expirations), and the simulator itself.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..core.errors import SimulationError
@@ -18,18 +17,22 @@ from ..core.errors import SimulationError
 __all__ = ["ScheduledEvent", "EventEngine"]
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """An entry of the event queue.
 
     Ordering is by time, then by insertion sequence (FIFO among simultaneous
-    events), which keeps runs deterministic.
+    events), which keeps runs deterministic.  The heap itself stores plain
+    ``(time, sequence, event)`` tuples so that the (very hot) heap sift
+    compares tuples at C speed instead of calling back into Python.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(self, time: float, sequence: int, callback: Callable[[], None]):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped."""
@@ -40,7 +43,7 @@ class EventEngine:
     """Priority-queue driven simulation clock."""
 
     def __init__(self) -> None:
-        self._queue: List[ScheduledEvent] = []
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
         self._sequence = 0
         self.now = 0.0
         self.events_processed = 0
@@ -62,7 +65,7 @@ class EventEngine:
             )
         self._sequence += 1
         event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, self._sequence, event))
         return event
 
     # ------------------------------------------------------------------
@@ -71,7 +74,7 @@ class EventEngine:
     def step(self) -> bool:
         """Process the next event.  Returns False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             self.now = event.time
@@ -106,4 +109,4 @@ class EventEngine:
 
     def pending(self) -> int:
         """Number of (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for _, _, event in self._queue if not event.cancelled)

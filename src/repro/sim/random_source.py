@@ -11,6 +11,7 @@ decision sequences.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 __all__ = ["RandomSource"]
@@ -64,9 +65,12 @@ class RandomSource:
         """Derive an independent, reproducible child stream.
 
         Distinct labels give distinct streams; the same ``(seed, label)`` pair
-        always gives the same stream.  Used to decouple e.g. the workload
+        always gives the same stream — including *across* processes, which is
+        why the derivation uses CRC32 rather than :func:`hash` (string hashing
+        is salted per process, which silently made every run irreproducible
+        from one interpreter to the next).  Used to decouple e.g. the workload
         stream from the think-time stream so changing one parameter does not
         perturb every other random decision of the run.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        child_seed = zlib.crc32(f"{self.seed}/{label}".encode("utf-8")) & 0x7FFFFFFF
         return RandomSource(child_seed)

@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..core.backends import ConcurrencyControlBackend
 from ..core.errors import SimulationError
 from ..core.scheduler import (
     AbortReason,
@@ -84,6 +85,7 @@ class Simulation(SchedulerListener):
         params: SimulationParameters,
         workload_kind: str = "readwrite",
         workload: Optional[Workload] = None,
+        backend: Optional["ConcurrencyControlBackend"] = None,
     ):
         self.params = params
         self.engine = EventEngine()
@@ -92,11 +94,15 @@ class Simulation(SchedulerListener):
         self.think_rng = root_rng.spawn("think")
         self.resource_rng = root_rng.spawn("resources")
         self.workload = workload or make_workload(params, self.workload_rng, workload_kind)
+        # ``params.policy`` selects the concurrency-control backend (the
+        # semantic scheduler, or strict 2PL for TWO_PHASE_LOCKING); passing a
+        # ``backend`` instance overrides that choice outright.
         self.scheduler = Scheduler(
             policy=params.policy,
             fair=params.fair_scheduling,
             record_history=False,
             retain_terminated=False,
+            backend=backend,
         )
         self.scheduler.add_listener(self)
         self.workload.register_objects(self.scheduler)
@@ -283,6 +289,9 @@ def run_simulation(
     params: SimulationParameters,
     workload_kind: str = "readwrite",
     max_events: Optional[int] = None,
+    backend: Optional[ConcurrencyControlBackend] = None,
 ) -> RunMetrics:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(params, workload_kind=workload_kind).run(max_events=max_events)
+    return Simulation(params, workload_kind=workload_kind, backend=backend).run(
+        max_events=max_events
+    )

@@ -64,7 +64,7 @@ def stack_scheduler(recoverability_scheduler, stack_type):
     return recoverability_scheduler
 
 
-def small_sim_params(**overrides):
+def _small_sim_params(**overrides):
     """Simulation parameters small enough for unit tests (sub-second runs)."""
     defaults = dict(
         database_size=60,
@@ -78,5 +78,11 @@ def small_sim_params(**overrides):
 
 
 @pytest.fixture
+def small_sim_params():
+    """Factory fixture: build test-sized simulation parameters with overrides."""
+    return _small_sim_params
+
+
+@pytest.fixture
 def tiny_params():
-    return small_sim_params()
+    return _small_sim_params()

@@ -7,8 +7,6 @@ from repro.sim.metrics import MetricsCollector, RunMetrics
 from repro.sim.params import SimulationParameters
 from repro.sim.simulator import Simulation, run_simulation
 
-from .conftest import small_sim_params
-
 
 def metrics_fixture(**overrides):
     defaults = dict(
@@ -97,22 +95,22 @@ class TestSimulationRuns:
         assert first.blocks == second.blocks
         assert first.restarts == second.restarts
 
-    def test_different_seeds_differ(self):
+    def test_different_seeds_differ(self, small_sim_params):
         first = run_simulation(small_sim_params(seed=1), "readwrite")
         second = run_simulation(small_sim_params(seed=2), "readwrite")
         assert first.throughput != pytest.approx(second.throughput)
 
-    def test_adt_workload_runs(self):
+    def test_adt_workload_runs(self, small_sim_params):
         params = small_sim_params(pc=4, pr=4)
         metrics = run_simulation(params, "adt")
         assert metrics.completions >= params.total_completions
 
-    def test_finite_resources_run(self):
+    def test_finite_resources_run(self, small_sim_params):
         params = small_sim_params(resource_units=1)
         metrics = run_simulation(params, "readwrite")
         assert metrics.completions >= params.total_completions
 
-    def test_commutativity_policy_has_no_pseudo_commits(self):
+    def test_commutativity_policy_has_no_pseudo_commits(self, small_sim_params):
         params = small_sim_params(policy=ConflictPolicy.COMMUTATIVITY, database_size=20)
         metrics = run_simulation(params, "readwrite")
         assert metrics.pseudo_commits == 0
@@ -144,18 +142,18 @@ class TestSimulationRuns:
         simulation.run()
         assert observed and max(observed) <= tiny_params.mpl_level
 
-    def test_warmup_excludes_early_completions(self):
+    def test_warmup_excludes_early_completions(self, small_sim_params):
         params = small_sim_params(total_completions=80, warmup_completions=40)
         metrics = run_simulation(params, "readwrite")
         assert metrics.completions <= 80 - 40 + 1
 
-    def test_pseudo_commit_slot_release_flag(self):
+    def test_pseudo_commit_slot_release_flag(self, small_sim_params):
         held = run_simulation(small_sim_params(pseudo_commit_holds_slot=True), "readwrite")
         released = run_simulation(small_sim_params(pseudo_commit_holds_slot=False), "readwrite")
         # Both configurations must finish; they are allowed to differ.
         assert held.completions >= 60 and released.completions >= 60
 
-    def test_conflicts_are_counted_under_contention(self):
+    def test_conflicts_are_counted_under_contention(self, small_sim_params):
         params = small_sim_params(
             database_size=30, num_terminals=40, mpl_level=15, total_completions=120, seed=3
         )
@@ -165,7 +163,7 @@ class TestSimulationRuns:
         assert metrics.cycle_checks > 0
         assert metrics.blocking_ratio > 0
 
-    def test_unfair_scheduling_runs_and_differs(self):
+    def test_unfair_scheduling_runs_and_differs(self, small_sim_params):
         fair = run_simulation(small_sim_params(fair_scheduling=True, database_size=20), "readwrite")
         unfair = run_simulation(
             small_sim_params(fair_scheduling=False, database_size=20), "readwrite"

@@ -62,7 +62,7 @@ class TestTransactionRecord:
 
 class TestPublicApi:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_all_names_resolve(self):
         for name in repro.__all__:
@@ -80,7 +80,7 @@ class TestPublicApi:
         import repro.sim
 
         assert repro.adts.paper_types() == ["page", "stack", "set", "table"]
-        assert len(repro.analysis.all_figure_ids()) == 15
+        assert len(repro.analysis.all_figure_ids()) == 16
         assert repro.sim.SimulationParameters().database_size == 1000
 
     def test_headline_workflow_through_top_level_names_only(self):
