@@ -15,12 +15,10 @@ recoverability.  Under commutativity the writers block behind the auditor and
 the auditor's own balance reads then close a deadlock; under recoverability
 everything runs immediately and only the commit order is constrained.
 
-Run with::
+Run with (after ``pip install -e .`` from the repository root)::
 
     python examples/banking_accounts.py
 """
-
-import _bootstrap  # noqa: F401
 
 from repro import ConflictPolicy, Scheduler, TransactionStatus
 from repro.adts import CounterType, TableType

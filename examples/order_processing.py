@@ -12,12 +12,10 @@ fulfilment transaction drains the queue.  The example shows three things:
   down with it, even though their orders sit behind the abandoned one in the
   dependency chain.
 
-Run with::
+Run with (after ``pip install -e .`` from the repository root)::
 
     python examples/order_processing.py
 """
-
-import _bootstrap  # noqa: F401
 
 from repro import ConflictPolicy, Scheduler, TransactionStatus
 from repro.adts import QueueType, SetType, TableType

@@ -6,12 +6,10 @@ first to finish.  They *are* recoverable, so the recoverability scheduler runs
 both at once and merely pins the commit order — and if the first transaction
 aborts, the second still commits (no cascading abort).
 
-Run with::
+Run with (after ``pip install -e .`` from the repository root)::
 
     python examples/quickstart.py
 """
-
-import _bootstrap  # noqa: F401  (sys.path setup for running from a checkout)
 
 from repro import ConflictPolicy, Scheduler, TransactionStatus
 from repro.adts import StackType

@@ -13,12 +13,10 @@ Pass ``--scale smoke|bench|paper`` to change the amount of simulated work, or
 ``--figure figure-10`` (any id from ``repro.analysis.all_figure_ids()``) to
 reproduce a different figure.
 
-Run with::
+Run with (after ``pip install -e .`` from the repository root)::
 
     python examples/simulation_study.py
 """
-
-import _bootstrap  # noqa: F401
 
 import argparse
 

@@ -55,8 +55,16 @@ from .core import (
     is_log_sound,
     is_serializable,
 )
+from .distributed import (
+    GlobalRequest,
+    GlobalTransaction,
+    PlacementPolicy,
+    Site,
+    SiteStatus,
+    TransactionRouter,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -70,11 +78,14 @@ __all__ = [
     "EdgeKind",
     "Event",
     "ExecutionLog",
+    "GlobalRequest",
+    "GlobalTransaction",
     "Invocation",
     "ObjectManager",
     "ObjectUniverse",
     "OperationResult",
     "OperationSpec",
+    "PlacementPolicy",
     "RelationTable",
     "RequestHandle",
     "RequestStatus",
@@ -82,7 +93,10 @@ __all__ = [
     "SchedulerListener",
     "SchedulerStatistics",
     "SemanticBackend",
+    "Site",
+    "SiteStatus",
     "Transaction",
+    "TransactionRouter",
     "TransactionStatus",
     "TwoPhaseLockingBackend",
     "TypeSpecification",

@@ -12,15 +12,22 @@ The CLI exposes the experiment harness without writing any Python:
     paper-style series and summary;
 ``python -m repro simulate [--mpl 50 --policy recoverability ...]``
     run a single simulation point and print its metrics; ``--policy 2pl``
-    selects the strict two-phase-locking baseline backend.
+    selects the strict two-phase-locking baseline backend;
+``python -m repro simulate --sites 4 --replication copies --fail-at 2:1 --recover-at 6:1``
+    run the multi-site system: four sites with available-copies replication,
+    site 1 crashing at t=2 s and recovering at t=6 s of simulated time;
+``python -m repro simulate --json``
+    emit the run's deterministic metrics and raw counters as JSON (for
+    scripting and CI gating).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .analysis import (
     BENCH_SCALE,
@@ -36,7 +43,7 @@ from .analysis import (
 from .adts import paper_types
 from .core.policy import ConflictPolicy
 from .sim.params import SimulationParameters
-from .sim.simulator import run_simulation
+from .sim.simulator import Simulation
 
 _SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
 _POLICIES = {policy.value: policy for policy in ConflictPolicy}
@@ -80,7 +87,37 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--unfair", action="store_true",
                           help="disable fair scheduling at the object managers")
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--sites", type=int, default=1,
+                          help="number of sites (default 1: the centralized system)")
+    simulate.add_argument("--replication", choices=["single", "hash", "copies"],
+                          default=None,
+                          help="object placement across sites (default: 'single' "
+                               "with one site, 'copies' with several)")
+    simulate.add_argument("--fail-at", action="append", default=[], metavar="TIME:SITE",
+                          help="crash SITE at simulated TIME seconds (repeatable)")
+    simulate.add_argument("--recover-at", action="append", default=[], metavar="TIME:SITE",
+                          help="recover SITE at simulated TIME seconds (repeatable)")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit machine-readable deterministic metrics as JSON")
     return parser
+
+
+def _parse_site_events(
+    fail_at: List[str], recover_at: List[str]
+) -> Tuple[Tuple[float, str, int], ...]:
+    """Turn repeated ``TIME:SITE`` flags into a sorted failure schedule."""
+    events: List[Tuple[float, str, int]] = []
+    for action, entries in (("fail", fail_at), ("recover", recover_at)):
+        for entry in entries:
+            try:
+                time_text, site_text = entry.split(":", 1)
+                events.append((float(time_text), action, int(site_text)))
+            except ValueError:
+                raise SystemExit(
+                    f"--{action}-at expects TIME:SITE (e.g. 2.5:1), got {entry!r}"
+                ) from None
+    events.sort(key=lambda event: (event[0], event[2], event[1]))
+    return tuple(events)
 
 
 def _command_list(out) -> int:
@@ -116,6 +153,9 @@ def _command_figure(figure_id: str, scale_name: str, output: Optional[pathlib.Pa
 
 
 def _command_simulate(arguments, out) -> int:
+    replication = arguments.replication
+    if replication is None:
+        replication = "single" if arguments.sites == 1 else "copies"
     params = SimulationParameters(
         database_size=arguments.database_size,
         mpl_level=arguments.mpl,
@@ -127,8 +167,31 @@ def _command_simulate(arguments, out) -> int:
         pr=arguments.pr,
         fair_scheduling=not arguments.unfair,
         seed=arguments.seed,
+        site_count=arguments.sites,
+        replication=replication,
+        failure_schedule=_parse_site_events(arguments.fail_at, arguments.recover_at),
     )
-    metrics = run_simulation(params, workload_kind=arguments.workload)
+    simulation = Simulation(params, workload_kind=arguments.workload)
+    metrics = simulation.run()
+    if arguments.json:
+        router_stats = simulation.router.router_stats
+        payload = {
+            "params": params.describe(),
+            "workload": arguments.workload,
+            "metrics": metrics.as_dict(),
+            "counters": metrics.counters(),
+            "sites": {
+                "count": params.site_count,
+                "replication": params.replication,
+                "failures": router_stats.site_failures,
+                "recoveries": router_stats.site_recoveries,
+                "site_failure_aborts": router_stats.site_failure_aborts,
+                "unavailable_aborts": router_stats.unavailable_aborts,
+                "cross_site_deadlock_aborts": router_stats.cross_site_deadlock_aborts,
+            },
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return 0
     for key, value in metrics.as_dict().items():
         out.write(f"{key:20s} {value:.4f}\n")
     return 0

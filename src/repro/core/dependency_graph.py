@@ -64,6 +64,11 @@ class DependencyGraph:
         # whenever a mutation can change the set — see _note_edge_added /
         # _note_edge_removed — so a present entry is always exact.
         self._reach_cache: Dict[int, Set[int]] = {}
+        #: Monotonic count of topology changes (edges gained or lost).  An
+        #: unchanged value guarantees the successor sets are unchanged, which
+        #: lets derived structures (the multi-site router's union-graph cycle
+        #: check) skip recomputation cheaply.
+        self.mutations = 0
 
     # ------------------------------------------------------------------
     # Reachability cache maintenance
@@ -71,6 +76,7 @@ class DependencyGraph:
     def _note_edge_added(self, source: int) -> None:
         """A new edge leaves ``source``: any cached set that contains
         ``source`` (or is ``source``'s own) may have grown."""
+        self.mutations += 1
         if not self._reach_cache:
             return
         stale = [

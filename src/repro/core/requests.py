@@ -27,11 +27,15 @@ class RequestStatus(enum.Enum):
 
 
 class AbortReason(enum.Enum):
-    """Why the scheduler aborted a transaction."""
+    """Why the scheduler (or the multi-site router) aborted a transaction."""
 
     DEADLOCK = "deadlock"
     DEPENDENCY_CYCLE = "commit-dependency cycle"
     USER = "user abort"
+    #: A site this transaction wrote to failed (available-copies rule).
+    SITE_FAILURE = "site failure"
+    #: No live site could serve the requested operation.
+    SITE_UNAVAILABLE = "site unavailable"
 
 
 @dataclass

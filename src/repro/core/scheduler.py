@@ -98,6 +98,8 @@ class SchedulerStatistics:
     deadlock_aborts: int = 0
     dependency_cycle_aborts: int = 0
     user_aborts: int = 0
+    #: Aborts forced by the multi-site layer (site failure/unavailability).
+    site_aborts: int = 0
     cycle_checks: int = 0
     #: Sum over aborted transactions of their operation count at abort time.
     abort_length_total: int = 0
@@ -399,6 +401,8 @@ class Scheduler:
             self.stats.deadlock_aborts += 1
         elif reason is AbortReason.DEPENDENCY_CYCLE:
             self.stats.dependency_cycle_aborts += 1
+        elif reason in (AbortReason.SITE_FAILURE, AbortReason.SITE_UNAVAILABLE):
+            self.stats.site_aborts += 1
         else:
             self.stats.user_aborts += 1
         self.stats.abort_length_total += transaction.operation_count

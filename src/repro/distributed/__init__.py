@@ -1,0 +1,44 @@
+"""Multi-site execution layer: router, sites, placement, replication.
+
+This package turns the centralized scheduler into a distributed system in the
+style of the classical replicated-data exercises (and of the paper's outlook
+section): a :class:`TransactionRouter` owning global transaction ids routes
+operations over per-site :class:`Site` units (each wrapping its own
+:class:`~repro.core.scheduler.Scheduler` and concurrency-control backend)
+according to a pluggable :class:`PlacementPolicy`, with available-copies
+replication — read-one / write-all-available — and scripted site failure and
+recovery.
+
+See :mod:`repro.distributed.router` for the protocol details.
+"""
+
+from .placement import (
+    HashShardedPlacement,
+    PlacementPolicy,
+    ReplicatedPlacement,
+    SingleSitePlacement,
+    make_placement,
+)
+from .router import (
+    BranchRef,
+    GlobalRequest,
+    GlobalTransaction,
+    RouterStatistics,
+    TransactionRouter,
+)
+from .site import Site, SiteStatus
+
+__all__ = [
+    "BranchRef",
+    "GlobalRequest",
+    "GlobalTransaction",
+    "HashShardedPlacement",
+    "PlacementPolicy",
+    "ReplicatedPlacement",
+    "RouterStatistics",
+    "SingleSitePlacement",
+    "Site",
+    "SiteStatus",
+    "TransactionRouter",
+    "make_placement",
+]

@@ -1,0 +1,113 @@
+"""Placement policies: which sites hold a copy of which object.
+
+The multi-site layer separates *where data lives* from *how operations are
+routed*.  A :class:`PlacementPolicy` answers one question — the ordered tuple
+of site ids holding a copy of a named object — and the
+:class:`~repro.distributed.router.TransactionRouter` derives everything else
+from it: reads go to one readable copy (*read-one*), writes fan out to every
+live copy (*write-all-available*), and an object is *replicated* exactly when
+its placement names more than one site.
+
+Three policies are provided:
+
+* :class:`SingleSitePlacement` — everything on site 0; with one site this is
+  today's centralized system, bit-for-bit;
+* :class:`HashShardedPlacement` — each object on exactly one site, chosen by a
+  stable hash of its name (CRC32, so the assignment is identical across
+  processes and interpreter versions — the same reason
+  :meth:`repro.sim.random_source.RandomSource.spawn` uses CRC32);
+* :class:`ReplicatedPlacement` — every object on every site (the
+  available-copies configuration the failure/recovery protocol targets).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = [
+    "PlacementPolicy",
+    "SingleSitePlacement",
+    "HashShardedPlacement",
+    "ReplicatedPlacement",
+    "make_placement",
+]
+
+
+class PlacementPolicy:
+    """Maps object names to the sites that hold a copy."""
+
+    #: Short name used in parameters and reports.
+    name = "abstract"
+
+    def __init__(self, site_count: int):
+        if site_count < 1:
+            raise SimulationError("site_count must be at least 1")
+        self.site_count = site_count
+
+    def sites_for(self, object_name: str) -> Tuple[int, ...]:
+        """The ordered site ids holding a copy of ``object_name``."""
+        raise NotImplementedError
+
+    def is_replicated(self, object_name: str) -> bool:
+        """True when more than one site holds a copy of the object."""
+        return len(self.sites_for(object_name)) > 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} sites={self.site_count}>"
+
+
+class SingleSitePlacement(PlacementPolicy):
+    """Everything lives on site 0 (the centralized configuration)."""
+
+    name = "single"
+
+    def sites_for(self, object_name: str) -> Tuple[int, ...]:
+        return (0,)
+
+
+class HashShardedPlacement(PlacementPolicy):
+    """Each object on exactly one site, by a stable hash of its name."""
+
+    name = "hash"
+
+    def sites_for(self, object_name: str) -> Tuple[int, ...]:
+        shard = zlib.crc32(object_name.encode("utf-8")) % self.site_count
+        return (shard,)
+
+
+class ReplicatedPlacement(PlacementPolicy):
+    """Every object on every site (available-copies replication)."""
+
+    name = "copies"
+
+    def __init__(self, site_count: int):
+        super().__init__(site_count)
+        self._all_sites = tuple(range(site_count))
+
+    def sites_for(self, object_name: str) -> Tuple[int, ...]:
+        return self._all_sites
+
+
+_PLACEMENTS = {
+    policy.name: policy
+    for policy in (SingleSitePlacement, HashShardedPlacement, ReplicatedPlacement)
+}
+
+
+def make_placement(kind: str, site_count: int) -> PlacementPolicy:
+    """Construct the placement policy named by ``kind``.
+
+    ``kind`` is one of ``"single"``, ``"hash"`` or ``"copies"`` (the value of
+    the ``replication`` simulation parameter and of the CLI's
+    ``--replication`` flag).
+    """
+    try:
+        policy = _PLACEMENTS[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown replication kind {kind!r} (expected one of {sorted(_PLACEMENTS)})"
+        ) from None
+    return policy(site_count)

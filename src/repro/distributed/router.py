@@ -1,0 +1,733 @@
+"""The transaction router: global transactions over per-site schedulers.
+
+The :class:`TransactionRouter` is the multi-site counterpart of
+:class:`~repro.core.scheduler.Scheduler`: it owns *global* transaction ids and
+fans operations out to the per-site schedulers that the
+:class:`~repro.distributed.placement.PlacementPolicy` says hold a copy of the
+target object, with available-copies replication semantics:
+
+* **read-one** — a read-only operation executes at the first live site whose
+  copy is readable;
+* **write-all-available** — any other operation executes at *every* live copy
+  (a recovering copy accepts writes; that is what makes it readable again);
+* **failure** — when a site fails, its scheduler state is lost and every
+  global transaction that *wrote* to the site (or whose in-flight operation is
+  blocked there) aborts; completed transactions survive, and a pseudo-committed
+  branch lost with the site is simply dropped from the commit-outstanding set;
+* **recovery** — a recovered site marks its replicated copies unreadable
+  until a transaction that wrote the object there durably commits.
+
+A global transaction lazily opens one *branch* (a local transaction) per site
+it touches.  Branch-level protocol decisions stay with the per-site backends —
+semantic recoverability or strict 2PL, unchanged — and the router aggregates
+them: a global operation request (:class:`GlobalRequest`) has executed once
+every branch executed; a protocol abort at any branch aborts the global
+transaction everywhere; a global commit is durable once every branch durably
+committed (branches may pseudo-commit locally and drain at different times).
+
+Cross-site cycles (deadlocks or commit-dependency cycles spanning sites,
+which no single site's graph can see) are caught by a router-level check on
+the union of the per-site dependency graphs after each fan-out; the requester
+is the victim, matching the per-site victim rule.  The check only covers
+cycles closed by the operation being submitted — cycles closed by a queued
+request granted during another transaction's termination are not yet
+detected (see ROADMAP).
+
+With ``site_count=1`` the router is a pass-through: one site, one branch per
+transaction, no replication fan-out and no cross-site checks, reproducing the
+centralized scheduler's decision stream bit for bit.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.compatibility import CompatibilitySpec
+from ..core.errors import (
+    ReproError,
+    TransactionStateError,
+    UnknownObjectError,
+    UnknownOperationError,
+)
+from ..core.policy import ConflictPolicy
+from ..core.requests import AbortReason, RequestHandle, RequestStatus
+from ..core.scheduler import SchedulerListener, SchedulerStatistics
+from ..core.specification import Event, Invocation, TypeSpecification
+from ..core.transaction import TransactionStatus
+from .placement import PlacementPolicy, make_placement
+from .site import Site, _fold_stats
+
+__all__ = [
+    "BranchRef",
+    "GlobalRequest",
+    "GlobalTransaction",
+    "RouterStatistics",
+    "TransactionRouter",
+]
+
+
+@dataclass(frozen=True)
+class BranchRef:
+    """A local transaction at one site, pinned to a scheduler generation.
+
+    The generation guards against a site that crashed and recovered between
+    branch creation and use: local transaction ids restart on the fresh
+    scheduler, so a stale ``(site, tid)`` pair must never be dereferenced.
+    """
+
+    local_tid: int
+    generation: int
+
+
+@dataclass
+class GlobalRequest:
+    """Caller-visible result of one routed operation (all replica branches)."""
+
+    transaction_id: int
+    object_name: str
+    invocation: Invocation
+    #: Per-site handles returned by the branch schedulers.
+    branch_handles: Dict[int, RequestHandle] = field(default_factory=dict)
+    #: Set by the router when the global transaction aborts mid-request.
+    failed: bool = False
+    abort_reason: Optional[AbortReason] = None
+
+    @property
+    def executed(self) -> bool:
+        """True once every replica branch has executed."""
+        return (
+            not self.failed
+            and bool(self.branch_handles)
+            and all(handle.executed for handle in self.branch_handles.values())
+        )
+
+    @property
+    def blocked(self) -> bool:
+        return not self.failed and any(
+            handle.blocked for handle in self.branch_handles.values()
+        )
+
+    @property
+    def aborted(self) -> bool:
+        return self.failed or any(
+            handle.aborted for handle in self.branch_handles.values()
+        )
+
+    @property
+    def status(self) -> RequestStatus:
+        if self.aborted:
+            return RequestStatus.ABORTED
+        if self.executed:
+            return RequestStatus.EXECUTED
+        return RequestStatus.BLOCKED
+
+    @property
+    def value(self) -> Any:
+        """The operation's return value (from the first executed branch)."""
+        for handle in self.branch_handles.values():
+            if handle.executed:
+                return handle.value
+        return None
+
+
+@dataclass
+class GlobalTransaction:
+    """Router-side record of one global transaction."""
+
+    gtid: int
+    label: Optional[str] = None
+    status: TransactionStatus = TransactionStatus.ACTIVE
+    #: Site id -> branch (lazily created on the first operation at the site).
+    branches: Dict[int, BranchRef] = field(default_factory=dict)
+    #: Sites this transaction has written to (the failure-abort rule).
+    sites_written: Set[int] = field(default_factory=set)
+    #: Objects written *per site* — only writes that actually landed at a
+    #: site may make its recovering copies readable when they commit there.
+    written_at: Dict[int, Set[str]] = field(default_factory=dict)
+    #: The operation currently in flight (at most one, like the scheduler).
+    current_request: Optional[GlobalRequest] = None
+    #: After commit(): sites whose branch has not durably committed yet.
+    outstanding: Optional[Set[int]] = None
+    #: Re-entrancy guard while a global abort fans out.
+    aborting: bool = False
+
+    @property
+    def tid(self) -> int:
+        """Alias so global and local transactions read alike in tests."""
+        return self.gtid
+
+    def require(self, *allowed: TransactionStatus) -> None:
+        if self.status not in allowed:
+            raise TransactionStateError(
+                f"global transaction {self.gtid} is {self.status.value}; expected "
+                f"one of {[status.value for status in allowed]}"
+            )
+
+
+@dataclass
+class RouterStatistics:
+    """Router-level counters (global events, not per-branch ones)."""
+
+    begins: int = 0
+    commits: int = 0
+    pseudo_commits: int = 0
+    aborts: int = 0
+    unavailable_aborts: int = 0
+    site_failure_aborts: int = 0
+    cross_site_deadlock_aborts: int = 0
+    cross_site_cycle_checks: int = 0
+    site_failures: int = 0
+    site_recoveries: int = 0
+
+
+class _SiteRelay(SchedulerListener):
+    """Translates one site scheduler's callbacks into router bookkeeping."""
+
+    def __init__(self, router: "TransactionRouter", site: Site):
+        self.router = router
+        self.site = site
+
+    def on_granted(self, transaction_id: int, handle: RequestHandle, event: Event) -> None:
+        self.router._on_local_granted(self.site, transaction_id, handle, event)
+
+    def on_aborted(self, transaction_id: int, reason: AbortReason) -> None:
+        self.router._on_local_aborted(self.site, transaction_id, reason)
+
+    def on_committed(self, transaction_id: int) -> None:
+        self.router._on_local_committed(self.site, transaction_id)
+
+
+class TransactionRouter:
+    """Routes global transactions over per-site schedulers.
+
+    The constructor mirrors :class:`~repro.core.scheduler.Scheduler` where the
+    concepts coincide (``policy``, ``fair``, ``retain_terminated``) and adds
+    the multi-site knobs: ``site_count``, ``replication`` (a placement kind —
+    ``"single"``, ``"hash"`` or ``"copies"`` — or a
+    :class:`~repro.distributed.placement.PlacementPolicy` instance) and an
+    optional ``backend_factory`` constructing one backend per site.
+    """
+
+    def __init__(
+        self,
+        site_count: int = 1,
+        replication: str = "single",
+        policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY,
+        fair: bool = True,
+        record_history: bool = False,
+        retain_terminated: bool = True,
+        backend_factory=None,
+    ):
+        if isinstance(replication, PlacementPolicy):
+            self.placement = replication
+        else:
+            self.placement = make_placement(replication, site_count)
+        if self.placement.site_count != site_count:
+            raise ReproError(
+                f"placement covers {self.placement.site_count} sites, router has {site_count}"
+            )
+        self.site_count = site_count
+        self.policy = policy
+        self.retain_terminated = retain_terminated
+        self.sites: List[Site] = [
+            Site(
+                site_id,
+                policy=policy,
+                fair=fair,
+                record_history=record_history,
+                retain_terminated=False,
+                backend_factory=backend_factory,
+            )
+            for site_id in range(site_count)
+        ]
+        self.transactions: Dict[int, GlobalTransaction] = {}
+        self.router_stats = RouterStatistics()
+        self._relays: List[_SiteRelay] = []
+        for site in self.sites:
+            relay = _SiteRelay(self, site)
+            site.scheduler.add_listener(relay)
+            self._relays.append(relay)
+        #: Per-site map of local transaction id -> global transaction id.
+        self._local_map: List[Dict[int, int]] = [{} for _ in range(site_count)]
+        #: Object name -> type specification (read/write classification).
+        self._specs: Dict[str, TypeSpecification] = {}
+        self._listeners: List[SchedulerListener] = []
+        self._next_gtid = 0
+
+    # ------------------------------------------------------------------
+    # Setup (Scheduler-compatible, so workloads can register blindly)
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        name: str,
+        spec: TypeSpecification,
+        compatibility: Optional[CompatibilitySpec] = None,
+        initial_state: Any = None,
+        materialize_state: bool = True,
+    ) -> None:
+        """Place an object's copies according to the placement policy."""
+        sites = self.placement.sites_for(name)
+        replicated = len(sites) > 1
+        self._specs[name] = spec
+        for site_id in sites:
+            self.sites[site_id].register_object(
+                name,
+                spec,
+                compatibility=compatibility,
+                initial_state=initial_state,
+                materialize_state=materialize_state,
+                replicated=replicated,
+            )
+
+    def add_listener(self, listener: SchedulerListener) -> None:
+        """Subscribe a listener to *global* transaction events."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Aggregated statistics
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SchedulerStatistics:
+        """Scheduler counters summed over every site (crashes included).
+
+        With replication, branch-level counters (blocks, aborts, operation
+        executions) count once per replica; the router-level
+        :attr:`router_stats` holds the once-per-global-transaction view.
+        """
+        total = SchedulerStatistics()
+        for site in self.sites:
+            _fold_stats(total, site.stats)
+        return total
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self, label: Optional[str] = None) -> GlobalTransaction:
+        """Start a new global transaction (branches open lazily per site)."""
+        self._next_gtid += 1
+        transaction = GlobalTransaction(gtid=self._next_gtid, label=label)
+        self.transactions[transaction.gtid] = transaction
+        self.router_stats.begins += 1
+        return transaction
+
+    def transaction(self, transaction_id: int) -> GlobalTransaction:
+        try:
+            return self.transactions[transaction_id]
+        except KeyError:
+            raise TransactionStateError(
+                f"unknown global transaction {transaction_id}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def perform(
+        self, transaction_id: int, object_name: str, op: str, *args: Any
+    ) -> GlobalRequest:
+        """Route ``op(*args)`` on ``object_name`` (read-one / write-all)."""
+        return self.submit(transaction_id, object_name, Invocation(op, tuple(args)))
+
+    def submit(
+        self, transaction_id: int, object_name: str, invocation: Invocation
+    ) -> GlobalRequest:
+        """Route a prebuilt invocation to the replicas of ``object_name``."""
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE)
+        previous = transaction.current_request
+        if previous is not None and previous.blocked:
+            # Mirror the centralized scheduler: a transaction whose last
+            # request is still queued cannot issue another one.  Reject
+            # before any branch is touched — a partial fan-out would leave
+            # replicas divergent.
+            raise TransactionStateError(
+                f"global transaction {transaction.gtid} has a blocked request "
+                f"on {previous.object_name!r}; it cannot issue another operation"
+            )
+        if object_name not in self._specs:
+            raise UnknownObjectError(object_name)
+        request = GlobalRequest(
+            transaction_id=transaction_id,
+            object_name=object_name,
+            invocation=invocation,
+        )
+        transaction.current_request = request
+        placed = self.placement.sites_for(object_name)
+        # Cross-site cycles can only be closed by a dependency edge added
+        # during this fan-out; snapshot the target graphs' mutation counters
+        # so the (comparatively expensive) union-graph DFS below can be
+        # skipped for the common conflict-free operation.
+        watched_graphs = (
+            [self.sites[sid].scheduler.graph
+             for sid in placed if self.sites[sid].status.is_up]
+            if self.site_count > 1
+            else []
+        )
+        mutations_before = sum(graph.mutations for graph in watched_graphs)
+
+        if self._is_read_only(object_name, invocation):
+            # Read-one: spread reads over the replicas by a stable hash of
+            # the object name (each object has a deterministic home replica),
+            # falling over to the next readable copy when it is down or
+            # still recovering.  With one site this always picks site 0.
+            offset = zlib.crc32(object_name.encode("utf-8")) % len(placed)
+            ordered = placed[offset:] + placed[:offset]
+            target = next(
+                (sid for sid in ordered if self.sites[sid].readable(object_name)), None
+            )
+            if target is None:
+                self._unavailable(transaction, request)
+                return request
+            self._submit_branch(transaction, self.sites[target], request)
+        else:
+            targets = [sid for sid in placed if self.sites[sid].writable(object_name)]
+            if not targets:
+                self._unavailable(transaction, request)
+                return request
+            for sid in targets:
+                if transaction.status is not TransactionStatus.ACTIVE:
+                    break  # a branch abort cascaded into a global abort
+                transaction.sites_written.add(sid)
+                transaction.written_at.setdefault(sid, set()).add(object_name)
+                self._submit_branch(transaction, self.sites[sid], request)
+
+        if (
+            self.site_count > 1
+            and transaction.status is TransactionStatus.ACTIVE
+            and request.branch_handles
+            and not request.failed
+            and sum(graph.mutations for graph in watched_graphs) != mutations_before
+        ):
+            self.router_stats.cross_site_cycle_checks += 1
+            if self._closes_global_cycle(transaction):
+                self.router_stats.cross_site_deadlock_aborts += 1
+                self._global_abort(transaction, AbortReason.DEADLOCK, request)
+        return request
+
+    def _submit_branch(
+        self, transaction: GlobalTransaction, site: Site, request: GlobalRequest
+    ) -> None:
+        branch = transaction.branches.get(site.site_id)
+        if branch is None or branch.generation != site.generation:
+            local = site.scheduler.begin(label=transaction.label)
+            branch = BranchRef(local_tid=local.tid, generation=site.generation)
+            transaction.branches[site.site_id] = branch
+            self._local_map[site.site_id][local.tid] = transaction.gtid
+        handle = site.scheduler.submit(
+            branch.local_tid, request.object_name, request.invocation
+        )
+        request.branch_handles[site.site_id] = handle
+
+    def _is_read_only(self, object_name: str, invocation: Invocation) -> bool:
+        spec = self._specs[object_name]
+        try:
+            return spec.operation(invocation.op).is_read_only
+        except UnknownOperationError:
+            return False
+
+    def _unavailable(
+        self, transaction: GlobalTransaction, request: GlobalRequest
+    ) -> None:
+        self.router_stats.unavailable_aborts += 1
+        self._global_abort(transaction, AbortReason.SITE_UNAVAILABLE, request)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, transaction_id: int) -> TransactionStatus:
+        """Commit at every branch; durable once every branch is durable."""
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE)
+        request = transaction.current_request
+        if request is not None and request.blocked:
+            # Mirror the centralized scheduler: a transaction whose last
+            # request is still queued cannot commit.  Reject before touching
+            # any branch — committing some branches and then raising at the
+            # blocked one would leave the replicas divergent.
+            raise TransactionStateError(
+                f"global transaction {transaction.gtid} has a blocked request "
+                f"on {request.object_name!r}; it cannot commit"
+            )
+        live: Set[int] = set()
+        for site_id, branch in transaction.branches.items():
+            site = self.sites[site_id]
+            if (
+                site.status.is_up
+                and branch.generation == site.generation
+                and site.scheduler.transactions.get(branch.local_tid) is not None
+            ):
+                live.add(site_id)
+        transaction.outstanding = set(live)
+        for site_id in sorted(live):
+            branch = transaction.branches[site_id]
+            # A durable local commit fires the relay synchronously and drops
+            # the site from ``outstanding``; a pseudo-commit leaves it in.
+            self.sites[site_id].scheduler.commit(branch.local_tid)
+        if transaction.outstanding:
+            transaction.status = TransactionStatus.PSEUDO_COMMITTED
+            self.router_stats.pseudo_commits += 1
+            for listener in self._listeners:
+                listener.on_pseudo_committed(transaction.gtid)
+            return TransactionStatus.PSEUDO_COMMITTED
+        self._finalize_commit(transaction)
+        return TransactionStatus.COMMITTED
+
+    def _finalize_commit(self, transaction: GlobalTransaction) -> None:
+        transaction.status = TransactionStatus.COMMITTED
+        self.router_stats.commits += 1
+        for listener in self._listeners:
+            listener.on_committed(transaction.gtid)
+        self._finish(transaction)
+
+    # ------------------------------------------------------------------
+    # Abort
+    # ------------------------------------------------------------------
+    def abort(
+        self, transaction_id: int, reason: AbortReason = AbortReason.USER
+    ) -> None:
+        """Abort a global transaction at every live branch."""
+        transaction = self.transaction(transaction_id)
+        transaction.require(TransactionStatus.ACTIVE)
+        self._global_abort(transaction, reason)
+
+    def _global_abort(
+        self,
+        transaction: GlobalTransaction,
+        reason: AbortReason,
+        request: Optional[GlobalRequest] = None,
+    ) -> None:
+        if transaction.aborting or transaction.status in (
+            TransactionStatus.ABORTED,
+            TransactionStatus.COMMITTED,
+        ):
+            return
+        transaction.aborting = True
+        request = request if request is not None else transaction.current_request
+        if request is not None:
+            request.failed = True
+            request.abort_reason = reason
+        for site_id in sorted(transaction.branches):
+            branch = transaction.branches[site_id]
+            site = self.sites[site_id]
+            if not site.status.is_up or branch.generation != site.generation:
+                continue
+            local = site.scheduler.transactions.get(branch.local_tid)
+            if local is None or local.status not in (
+                TransactionStatus.ACTIVE,
+                TransactionStatus.BLOCKED,
+            ):
+                continue
+            site.scheduler.abort(branch.local_tid, reason)
+            self._local_map[site_id].pop(branch.local_tid, None)
+        transaction.status = TransactionStatus.ABORTED
+        self.router_stats.aborts += 1
+        if reason is AbortReason.SITE_FAILURE:
+            self.router_stats.site_failure_aborts += 1
+        for listener in self._listeners:
+            listener.on_aborted(transaction.gtid, reason)
+        self._finish(transaction)
+
+    def _finish(self, transaction: GlobalTransaction) -> None:
+        """Terminal bookkeeping shared by global commit and abort."""
+        transaction.current_request = None
+        for site_id, branch in transaction.branches.items():
+            self._local_map[site_id].pop(branch.local_tid, None)
+        if not self.retain_terminated:
+            self.transactions.pop(transaction.gtid, None)
+
+    # ------------------------------------------------------------------
+    # Site lifecycle
+    # ------------------------------------------------------------------
+    def fail_site(self, site_id: int) -> None:
+        """Crash a site: its scheduler state is lost.
+
+        Available-copies rule: every global transaction that wrote to the
+        site (its uncommitted writes there are gone) or whose in-flight
+        operation is blocked there (the queued request is gone) aborts.
+        Completed transactions survive; a pseudo-committed branch that was
+        waiting out its commit dependencies at the failed site is dropped
+        from the outstanding set — its durable commit can no longer be
+        reported, and the surviving replicas carry its effects.
+        """
+        site = self.sites[site_id]
+        generation = site.generation
+        affected = [
+            transaction
+            for transaction in list(self.transactions.values())
+            if site_id in transaction.branches
+            and transaction.branches[site_id].generation == generation
+        ]
+        self._local_map[site_id].clear()
+        site.fail()
+        self.router_stats.site_failures += 1
+        for transaction in affected:
+            if transaction.status in (TransactionStatus.ABORTED, TransactionStatus.COMMITTED):
+                continue
+            if transaction.status is TransactionStatus.PSEUDO_COMMITTED:
+                if transaction.outstanding is not None:
+                    transaction.outstanding.discard(site_id)
+                    if not transaction.outstanding:
+                        self._finalize_commit(transaction)
+                continue
+            request = transaction.current_request
+            branch_handle = (
+                request.branch_handles.get(site_id) if request is not None else None
+            )
+            if site_id in transaction.sites_written or (
+                branch_handle is not None and branch_handle.blocked
+            ):
+                self._global_abort(transaction, AbortReason.SITE_FAILURE)
+            else:
+                # Read-only contact with the lost site: the values are already
+                # in hand and other replicas back them; just drop the branch.
+                transaction.branches.pop(site_id, None)
+
+    def recover_site(self, site_id: int) -> None:
+        """Bring a failed site back (replicated copies unreadable until a
+        committed write; see :meth:`Site.recover`)."""
+        site = self.sites[site_id]
+        scheduler = site.recover()
+        scheduler.add_listener(self._relays[site_id])
+        self.router_stats.site_recoveries += 1
+
+    # ------------------------------------------------------------------
+    # Relay handlers (local scheduler events -> global bookkeeping)
+    # ------------------------------------------------------------------
+    def _on_local_granted(
+        self, site: Site, local_tid: int, handle: RequestHandle, event: Event
+    ) -> None:
+        gtid = self._local_map[site.site_id].get(local_tid)
+        if gtid is None:
+            return
+        transaction = self.transactions.get(gtid)
+        if transaction is None or transaction.status is not TransactionStatus.ACTIVE:
+            return
+        request = transaction.current_request
+        if (
+            request is None
+            or request.failed
+            or request.branch_handles.get(site.site_id) is not handle
+        ):
+            return
+        if request.executed:
+            for listener in self._listeners:
+                listener.on_granted(gtid, request, event)
+
+    def _on_local_aborted(self, site: Site, local_tid: int, reason: AbortReason) -> None:
+        gtid = self._local_map[site.site_id].pop(local_tid, None)
+        if gtid is None:
+            return
+        transaction = self.transactions.get(gtid)
+        if (
+            transaction is None
+            or transaction.aborting
+            or transaction.status
+            in (TransactionStatus.ABORTED, TransactionStatus.COMMITTED)
+        ):
+            return
+        # A protocol abort at one branch (deadlock or dependency-cycle
+        # victim) aborts the global transaction at every other branch.
+        self._global_abort(transaction, reason)
+
+    def _on_local_committed(self, site: Site, local_tid: int) -> None:
+        gtid = self._local_map[site.site_id].pop(local_tid, None)
+        if gtid is None:
+            return
+        transaction = self.transactions.get(gtid)
+        if transaction is None:
+            return
+        # Available-copies recovery: a durably committed write refreshes the
+        # local copy, making it readable again — but only for objects whose
+        # write actually landed at *this* site (a write issued while the
+        # site was down never reached its copy).
+        if site.unreadable:
+            for name in transaction.written_at.get(site.site_id, ()):
+                site.mark_readable(name)
+        if transaction.outstanding is None:
+            return
+        transaction.outstanding.discard(site.site_id)
+        if (
+            not transaction.outstanding
+            and transaction.status is TransactionStatus.PSEUDO_COMMITTED
+        ):
+            self._finalize_commit(transaction)
+
+    # ------------------------------------------------------------------
+    # Cross-site cycle detection
+    # ------------------------------------------------------------------
+    def _global_successors(self, gtid: int) -> Set[int]:
+        """Union of one transaction's per-site dependency-graph successors."""
+        transaction = self.transactions.get(gtid)
+        if transaction is None:
+            return set()
+        successors: Set[int] = set()
+        for site_id, branch in transaction.branches.items():
+            site = self.sites[site_id]
+            if not site.status.is_up or branch.generation != site.generation:
+                continue
+            local_map = self._local_map[site_id]
+            for local_successor in site.scheduler.graph.successors(branch.local_tid):
+                successor_gtid = local_map.get(local_successor)
+                if successor_gtid is not None and successor_gtid != gtid:
+                    successors.add(successor_gtid)
+        return successors
+
+    def _closes_global_cycle(self, transaction: GlobalTransaction) -> bool:
+        """True when the union graph has a cycle through ``transaction``.
+
+        Per-site graphs are individually acyclic (each site checks before
+        adding edges), so any union cycle necessarily spans sites.  Only
+        cycles through the submitting transaction can have been closed by the
+        operation just routed, so a DFS from it suffices.
+        """
+        target = transaction.gtid
+        stack = list(self._global_successors(target))
+        seen = set(stack)
+        while stack:
+            gtid = stack.pop()
+            if gtid == target:
+                return True
+            for successor in self._global_successors(gtid):
+                if successor == target:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_sites(self) -> List[int]:
+        """Ids of the sites currently up."""
+        return [site.site_id for site in self.sites if site.status.is_up]
+
+    def object_state(self, name: str, site_id: Optional[int] = None) -> Any:
+        """The visible state of one copy (default: first readable copy)."""
+        if site_id is None:
+            site_id = next(
+                (sid for sid in self.placement.sites_for(name) if self.sites[sid].readable(name)),
+                None,
+            )
+            if site_id is None:
+                raise UnknownObjectError(f"{name}: no readable copy")
+        return self.sites[site_id].scheduler.object_state(name)
+
+    def committed_state(self, name: str, site_id: Optional[int] = None) -> Any:
+        """The committed state of one copy (default: first readable copy)."""
+        if site_id is None:
+            site_id = next(
+                (sid for sid in self.placement.sites_for(name) if self.sites[sid].readable(name)),
+                None,
+            )
+            if site_id is None:
+                raise UnknownObjectError(f"{name}: no readable copy")
+        return self.sites[site_id].scheduler.committed_state(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        up = len(self.live_sites())
+        return (
+            f"<TransactionRouter sites={self.site_count} up={up} "
+            f"placement={self.placement.name!r} policy={self.policy}>"
+        )

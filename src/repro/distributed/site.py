@@ -1,0 +1,241 @@
+"""A site: one scheduler, its objects, and an up/down/recovering lifecycle.
+
+A :class:`Site` wraps what used to be the whole system — a
+:class:`~repro.core.scheduler.Scheduler` with its object managers and a
+concurrency-control backend — and adds the lifecycle the available-copies
+replication protocol needs:
+
+* **UP** — serving reads and writes normally;
+* **DOWN** — crashed: the scheduler (lock tables, dependency graph, blocked
+  queues, uncommitted operation logs) is lost wholesale, exactly as a real
+  site loses its volatile state;
+* **recovering** — back up, but every *replicated* object is unreadable until
+  a committed write refreshes its copy (the available-copies rule); objects
+  with a single copy have nothing to catch up from and are readable at once.
+
+Recovery is modelled as an instantaneous transition back to UP with the
+unreadable set populated; "recovering" is therefore a property of individual
+copies (``Site.readable``) rather than a third scheduler state.  The router
+clears a copy's unreadable flag when a transaction that wrote the object at
+this site durably commits.
+
+Statistics survive crashes: :attr:`Site.stats` is the sum of the live
+scheduler's counters and the counters folded in from every scheduler a crash
+discarded, so simulation metrics stay monotonic across failures.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import enum
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..core.backends import ConcurrencyControlBackend, make_backend
+from ..core.errors import ReproError
+from ..core.policy import ConflictPolicy
+from ..core.scheduler import Scheduler, SchedulerStatistics
+from ..core.specification import TypeSpecification
+from ..core.compatibility import CompatibilitySpec
+
+__all__ = ["SiteStatus", "Site"]
+
+
+class SiteStatus(enum.Enum):
+    """Lifecycle state of a site."""
+
+    UP = "up"
+    DOWN = "down"
+
+    @property
+    def is_up(self) -> bool:
+        return self is SiteStatus.UP
+
+
+def _fold_stats(into: SchedulerStatistics, stats: SchedulerStatistics) -> None:
+    """Add every counter of ``stats`` onto ``into`` (both are int fields)."""
+    for field in dataclasses.fields(SchedulerStatistics):
+        setattr(into, field.name, getattr(into, field.name) + getattr(stats, field.name))
+
+
+@dataclasses.dataclass(frozen=True)
+class _Registration:
+    """Everything needed to re-register an object on a fresh scheduler."""
+
+    spec: TypeSpecification
+    compatibility: Optional[CompatibilitySpec]
+    initial_state: Any
+    materialize_state: bool
+    replicated: bool
+
+
+class Site:
+    """One site of the multi-site system: a scheduler plus a lifecycle."""
+
+    def __init__(
+        self,
+        site_id: int,
+        policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY,
+        fair: bool = True,
+        record_history: bool = False,
+        retain_terminated: bool = False,
+        backend_factory=None,
+    ):
+        self.site_id = site_id
+        self.policy = policy
+        self.fair = fair
+        self.record_history = record_history
+        self.retain_terminated = retain_terminated
+        self.backend_factory = backend_factory
+        self.status = SiteStatus.UP
+        #: Incremented on every crash; a (local tid, generation) pair uniquely
+        #: identifies a transaction branch across scheduler replacements.
+        self.generation = 0
+        #: Replicated objects whose local copy awaits a committed write.
+        self.unreadable: Set[str] = set()
+        self.failures = 0
+        self.recoveries = 0
+        self._registrations: Dict[str, _Registration] = {}
+        #: Committed object states snapshotted at crash time (durable storage).
+        self._durable_states: Dict[str, Any] = {}
+        self._retired_stats = SchedulerStatistics()
+        self.scheduler = self._make_scheduler()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_backend(self) -> ConcurrencyControlBackend:
+        if self.backend_factory is not None:
+            return self.backend_factory()
+        return make_backend(self.policy)
+
+    def _make_scheduler(self) -> Scheduler:
+        return Scheduler(
+            policy=self.policy,
+            fair=self.fair,
+            record_history=self.record_history,
+            retain_terminated=self.retain_terminated,
+            backend=self._make_backend(),
+        )
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        name: str,
+        spec: TypeSpecification,
+        compatibility: Optional[CompatibilitySpec] = None,
+        initial_state: Any = None,
+        materialize_state: bool = True,
+        replicated: bool = False,
+    ) -> None:
+        """Place a copy of an object at this site.
+
+        The registration is remembered so recovery can rebuild the scheduler
+        with the same object set.
+        """
+        self._registrations[name] = _Registration(
+            spec=spec,
+            compatibility=compatibility,
+            initial_state=initial_state,
+            materialize_state=materialize_state,
+            replicated=replicated,
+        )
+        self.scheduler.register_object(
+            name,
+            spec,
+            compatibility=compatibility,
+            initial_state=initial_state,
+            materialize_state=materialize_state,
+        )
+
+    def holds(self, name: str) -> bool:
+        """True when this site has a copy of the object (readable or not)."""
+        return name in self._registrations
+
+    def readable(self, name: str) -> bool:
+        """True when a read of ``name`` can be served at this site now."""
+        return self.status.is_up and name not in self.unreadable and name in self._registrations
+
+    def writable(self, name: str) -> bool:
+        """True when a write of ``name`` can be applied at this site now.
+
+        Writes are accepted on unreadable (recovering) copies — a committed
+        write is exactly what makes a copy readable again.
+        """
+        return self.status.is_up and name in self._registrations
+
+    def mark_readable(self, name: str) -> None:
+        """A committed write refreshed the copy of ``name``."""
+        self.unreadable.discard(name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the site: all *volatile* scheduler state is lost.
+
+        Committed object states are durable (they survived to "disk"): they
+        are snapshotted here and become the initial states of the recovered
+        scheduler.  Uncommitted operations, lock tables, blocked queues and
+        the dependency graph are volatile and vanish with the scheduler.
+        """
+        if not self.status.is_up:
+            raise ReproError(f"site {self.site_id} is already down")
+        _fold_stats(self._retired_stats, self.scheduler.stats)
+        self._durable_states = {
+            name: copy.deepcopy(self.scheduler.object(name).committed_state)
+            for name, registration in self._registrations.items()
+            if registration.materialize_state
+        }
+        self.scheduler = None  # type: ignore[assignment]
+        self.status = SiteStatus.DOWN
+        self.generation += 1
+        self.failures += 1
+        self.unreadable.clear()
+
+    def recover(self) -> Scheduler:
+        """Bring the site back up with a fresh scheduler.
+
+        Every replicated object starts unreadable (available-copies: a copy
+        that missed writes while down must not serve reads until a committed
+        write lands); single-copy objects are readable immediately.  Returns
+        the new scheduler so the router can re-attach its listener.
+        """
+        if self.status.is_up:
+            raise ReproError(f"site {self.site_id} is not down")
+        self.scheduler = self._make_scheduler()
+        for name, registration in self._registrations.items():
+            self.scheduler.register_object(
+                name,
+                registration.spec,
+                compatibility=registration.compatibility,
+                # Durable storage survived the crash: restart each copy from
+                # the committed state it held when the site went down.
+                initial_state=self._durable_states.get(name, registration.initial_state),
+                materialize_state=registration.materialize_state,
+            )
+            if registration.replicated:
+                self.unreadable.add(name)
+        self.status = SiteStatus.UP
+        self.recoveries += 1
+        return self.scheduler
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SchedulerStatistics:
+        """Cumulative counters: the live scheduler plus crashed predecessors."""
+        total = SchedulerStatistics()
+        _fold_stats(total, self._retired_stats)
+        if self.scheduler is not None:
+            _fold_stats(total, self.scheduler.stats)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Site {self.site_id} {self.status.value} "
+            f"objects={len(self._registrations)} unreadable={len(self.unreadable)}>"
+        )

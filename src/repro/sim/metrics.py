@@ -88,6 +88,27 @@ class RunMetrics:
             return 0.0
         return self.abort_length_total / self.aborts
 
+    def counters(self) -> Dict[str, int]:
+        """The raw deterministic counters of the run.
+
+        Everything here derives only from ``(parameters, seed)`` — no
+        wall-clock, no host dependence.  This is the single source of truth
+        for the CLI's ``--json`` counter block and for
+        ``tools/bench_summary.py``; add new counters here, not there.
+        """
+        return {
+            "completions": self.completions,
+            "commits": self.commits,
+            "pseudo_commits": self.pseudo_commits,
+            "blocks": self.blocks,
+            "restarts": self.restarts,
+            "cycle_checks": self.cycle_checks,
+            "aborts": self.aborts,
+            "abort_length_total": self.abort_length_total,
+            "commit_dependency_edges": self.commit_dependency_edges,
+            "events_processed": self.events_processed,
+        }
+
     def as_dict(self) -> Dict[str, float]:
         """Flat mapping of every metric the reports print."""
         return {

@@ -71,6 +71,20 @@ class SimulationParameters:
     #: Number of recoverable entries per object compatibility table (P_r).
     pr: int = 4
 
+    # ----- multi-site execution ---------------------------------------------------
+    #: Number of sites (each a scheduler + backend of its own); 1 = the
+    #: centralized system of the paper, bit-identical to the original model.
+    site_count: int = 1
+    #: Placement of object copies across sites: ``"single"`` (everything on
+    #: site 0), ``"hash"`` (each object sharded to one site by a stable hash),
+    #: or ``"copies"`` (every object replicated at every site with
+    #: available-copies read-one/write-all semantics).
+    replication: str = "single"
+    #: Scripted site crashes and recoveries: ``(time, action, site_id)``
+    #: entries with ``action`` in {"fail", "recover"}, executed as simulation
+    #: events at the given simulated times.
+    failure_schedule: Tuple[Tuple[float, str, int], ...] = ()
+
     # ----- concurrency control ----------------------------------------------------
     #: Conflict policy (commutativity baseline vs recoverability).
     policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY
@@ -90,6 +104,10 @@ class SimulationParameters:
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
+        # Normalize the schedule so callers can pass lists interchangeably.
+        self.failure_schedule = tuple(
+            (float(time), str(action), int(site)) for time, action, site in self.failure_schedule
+        )
         self.validate()
 
     def validate(self) -> None:
@@ -119,6 +137,24 @@ class SimulationParameters:
             raise SimulationError("pr must be non-negative")
         if self.pc + self.pr > table_cells:
             raise SimulationError("pc + pr cannot exceed the number of table entries")
+        if self.site_count < 1:
+            raise SimulationError("site_count must be at least 1")
+        if self.replication not in ("single", "hash", "copies"):
+            raise SimulationError(
+                "replication must be one of 'single', 'hash', 'copies'"
+            )
+        for entry in self.failure_schedule:
+            time, action, site = entry
+            if time < 0:
+                raise SimulationError(f"failure_schedule time {time} is negative")
+            if action not in ("fail", "recover"):
+                raise SimulationError(
+                    f"failure_schedule action {action!r} must be 'fail' or 'recover'"
+                )
+            if not 0 <= site < self.site_count:
+                raise SimulationError(
+                    f"failure_schedule site {site} outside [0, {self.site_count})"
+                )
         if self.total_completions <= 0:
             raise SimulationError("total_completions must be positive")
         if not 0 <= self.warmup_completions < self.total_completions:

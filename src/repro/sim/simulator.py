@@ -5,9 +5,15 @@ One :class:`Simulation` object models the whole system of the paper's Figure 3:
 * a fixed population of terminals, each thinking for an exponential time and
   then submitting a transaction;
 * a ready queue bounded by the multiprogramming level (``mpl_level``);
-* the recoverability- or commutativity-based scheduler of
-  :mod:`repro.core.scheduler` deciding, per operation, whether the request
-  executes, blocks, or aborts the transaction;
+* a :class:`~repro.distributed.router.TransactionRouter` over one or more
+  sites (``site_count``, ``replication``), each running the recoverability-
+  or commutativity-based scheduler of :mod:`repro.core.scheduler` (or the
+  strict-2PL baseline) and deciding, per operation, whether the request
+  executes, blocks, or aborts the transaction; with one site this is exactly
+  the centralized system of the paper;
+* scripted site crash/recover events (``failure_schedule``) with
+  available-copies semantics: writers of a failed site abort and restart,
+  recovered replicas stay unreadable until a committed write;
 * a resource phase per executed operation (constant ``step_time`` under
   infinite resources; CPU then disk queueing under finite resources);
 * immediate restart of aborted transactions at the end of the ready queue,
@@ -33,11 +39,11 @@ from ..core.errors import SimulationError
 from ..core.scheduler import (
     AbortReason,
     RequestHandle,
-    Scheduler,
     SchedulerListener,
 )
 from ..core.specification import Event, Invocation
 from ..core.transaction import TransactionStatus
+from ..distributed.router import TransactionRouter
 from .engine import EventEngine
 from .metrics import MetricsCollector, RunMetrics
 from .params import SimulationParameters
@@ -94,18 +100,27 @@ class Simulation(SchedulerListener):
         self.think_rng = root_rng.spawn("think")
         self.resource_rng = root_rng.spawn("resources")
         self.workload = workload or make_workload(params, self.workload_rng, workload_kind)
-        # ``params.policy`` selects the concurrency-control backend (the
-        # semantic scheduler, or strict 2PL for TWO_PHASE_LOCKING); passing a
-        # ``backend`` instance overrides that choice outright.
-        self.scheduler = Scheduler(
+        # ``params.policy`` selects the concurrency-control backend per site
+        # (the semantic scheduler, or strict 2PL for TWO_PHASE_LOCKING);
+        # passing a ``backend`` instance overrides that choice outright, but
+        # only for the centralized single-site configuration — multiple sites
+        # each need a backend of their own.
+        if backend is not None and (params.site_count != 1 or params.failure_schedule):
+            raise SimulationError(
+                "an explicit backend instance requires site_count=1 and no "
+                "failure schedule; select per-site backends through params.policy"
+            )
+        self.router = TransactionRouter(
+            site_count=params.site_count,
+            replication=params.replication,
             policy=params.policy,
             fair=params.fair_scheduling,
             record_history=False,
             retain_terminated=False,
-            backend=backend,
+            backend_factory=(lambda: backend) if backend is not None else None,
         )
-        self.scheduler.add_listener(self)
-        self.workload.register_objects(self.scheduler)
+        self.router.add_listener(self)
+        self.workload.register_objects(self.router)
         self.resources = ResourceModel(self.engine, params, self.resource_rng)
         self.terminals = TerminalPool(params.num_terminals)
         self.metrics = MetricsCollector()
@@ -127,15 +142,32 @@ class Simulation(SchedulerListener):
                 2_000_000,
                 200 * self.params.total_completions * self.params.max_length,
             )
-        self.metrics.begin_measurement(0.0, self.scheduler.stats)
+        self.metrics.begin_measurement(0.0, self.router.stats)
+        self._schedule_site_events()
         for terminal in self.terminals:
             terminal.think_then_submit(
                 self.engine, self.think_rng, self.params.ext_think_time, self._submit
             )
         self.engine.run(until=self._done, max_events=max_events)
         return self.metrics.freeze(
-            self.engine.now, self.scheduler.stats, self.engine.events_processed
+            self.engine.now, self.router.stats, self.engine.events_processed
         )
+
+    def _schedule_site_events(self) -> None:
+        """Turn the failure schedule into engine events (site crash/recover)."""
+        for time, action, site_id in self.params.failure_schedule:
+            self.engine.schedule_at(
+                time, lambda action=action, site_id=site_id: self._site_event(action, site_id)
+            )
+
+    def _site_event(self, action: str, site_id: int) -> None:
+        site = self.router.sites[site_id]
+        # Tolerate schedules that fail an already-failed site (or recover a
+        # live one): the scripted scenario keeps its meaning, nothing breaks.
+        if action == "fail" and site.status.is_up:
+            self.router.fail_site(site_id)
+        elif action == "recover" and not site.status.is_up:
+            self.router.recover_site(site_id)
 
     def _done(self) -> bool:
         return self.completions >= self.params.total_completions
@@ -166,7 +198,7 @@ class Simulation(SchedulerListener):
         transaction.attempts += 1
         transaction.steps_done = 0
         transaction.slot_released = False
-        scheduler_transaction = self.scheduler.begin(label=f"L{transaction.logical_id}")
+        scheduler_transaction = self.router.begin(label=f"L{transaction.logical_id}")
         transaction.scheduler_tid = scheduler_transaction.tid
         self._by_scheduler_tid[scheduler_transaction.tid] = transaction
         self._issue_next_operation(transaction)
@@ -189,7 +221,7 @@ class Simulation(SchedulerListener):
     def _issue_next_operation(self, transaction: LogicalTransaction) -> None:
         object_name, invocation = transaction.next_step()
         assert transaction.scheduler_tid is not None
-        handle = self.scheduler.submit(transaction.scheduler_tid, object_name, invocation)
+        handle = self.router.submit(transaction.scheduler_tid, object_name, invocation)
         if handle.executed:
             self._run_resource_phase(transaction)
         # BLOCKED: wait for on_granted.  ABORTED: on_aborted already scheduled
@@ -204,9 +236,17 @@ class Simulation(SchedulerListener):
         self.resources.perform_step(finished)
 
     def _operation_finished(self, transaction: LogicalTransaction, attempt: int) -> None:
-        if transaction.attempts != attempt or transaction.completed:
-            # The attempt this resource phase belonged to was aborted (and the
-            # transaction restarted) while the CPU/disk work was in flight.
+        if (
+            transaction.attempts != attempt
+            or transaction.completed
+            or transaction.scheduler_tid is None
+        ):
+            # The attempt this resource phase belonged to was aborted while
+            # the CPU/disk work was in flight — either already restarted
+            # (attempts moved on) or with the restart still queued
+            # (scheduler_tid cleared by on_aborted; site failures abort
+            # active transactions mid-phase, which the centralized system
+            # never did).
             return
         transaction.steps_done += 1
         if transaction.steps_done < len(transaction.template):
@@ -219,7 +259,7 @@ class Simulation(SchedulerListener):
     # ------------------------------------------------------------------
     def _complete(self, transaction: LogicalTransaction) -> None:
         assert transaction.scheduler_tid is not None
-        status = self.scheduler.commit(transaction.scheduler_tid)
+        status = self.router.commit(transaction.scheduler_tid)
         transaction.completed = True
         transaction.completion_time = self.engine.now
         self.completions += 1
@@ -246,7 +286,7 @@ class Simulation(SchedulerListener):
             return
         if self.completions >= self.params.warmup_completions:
             self._measuring = True
-            self.metrics.begin_measurement(self.engine.now, self.scheduler.stats)
+            self.metrics.begin_measurement(self.engine.now, self.router.stats)
 
     # ------------------------------------------------------------------
     # SchedulerListener callbacks (never re-enter the scheduler directly)
@@ -262,7 +302,12 @@ class Simulation(SchedulerListener):
         if transaction is None or transaction.completed:
             return
         transaction.scheduler_tid = None
-        self.engine.schedule(0.0, lambda: self._restart(transaction))
+        # A transaction aborted because no live site could serve its operation
+        # retries after one operation time rather than immediately: with the
+        # needed copies still down it would otherwise spin through abort and
+        # restart in zero simulated time.
+        delay = self.params.step_time if reason is AbortReason.SITE_UNAVAILABLE else 0.0
+        self.engine.schedule(delay, lambda: self._restart(transaction))
 
     def on_committed(self, transaction_id: int) -> None:
         transaction = self._by_scheduler_tid.pop(transaction_id, None)

@@ -1,0 +1,51 @@
+"""Tests for tools/bench_summary.py (deterministic per-figure counters)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).parent.parent / "tools" / "bench_summary.py"
+
+
+@pytest.fixture(scope="module")
+def bench_summary():
+    spec = importlib.util.spec_from_file_location("bench_summary", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_summary"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_writes_deterministic_counters_for_one_figure(bench_summary, tmp_path):
+    output = tmp_path / "BENCH_summary.json"
+    code = bench_summary.main(
+        ["--figures", "figure-4", "--scale", "smoke", "--output", str(output)]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["scale"] == "smoke"
+    points = payload["figures"]["figure-4"]["points"]
+    assert set(points) == {"commutativity", "recoverability"}
+    point = points["recoverability"]["10"]
+    for counter in (
+        "completions", "blocks", "restarts", "cycle_checks", "aborts",
+        "events_processed", "simulated_time",
+    ):
+        assert counter in point
+    assert point["completions"] >= 150
+
+
+def test_counters_are_reproducible(bench_summary, tmp_path):
+    first = bench_summary.summarize(["figure-4"], "smoke")
+    second = bench_summary.summarize(["figure-4"], "smoke")
+    assert first == second
+
+
+def test_unknown_figure_is_rejected(bench_summary, tmp_path):
+    with pytest.raises(SystemExit):
+        bench_summary.main(
+            ["--figures", "figure-99", "--output", str(tmp_path / "x.json")]
+        )

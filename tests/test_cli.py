@@ -88,3 +88,65 @@ class TestSimulateCommand:
         )
         assert code == 0
         assert "throughput" in text
+
+    def test_json_output_is_machine_readable_and_deterministic(self):
+        import json
+
+        argv = (
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--seed", "4",
+            "--json",
+        )
+        code, text = run_cli(*argv)
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["counters"]["completions"] == 60
+        assert payload["params"]["seed"] == 4
+        assert payload["sites"]["count"] == 1
+        assert set(payload) == {"params", "workload", "metrics", "counters", "sites"}
+        # Deterministic: the same invocation yields byte-identical JSON.
+        _, again = run_cli(*argv)
+        assert again == text
+
+    def test_multi_site_run_with_scripted_failure(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--sites", "2",
+            "--replication", "copies",
+            "--fail-at", "0.5:1",
+            "--recover-at", "1.5:1",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["sites"]["count"] == 2
+        assert payload["sites"]["replication"] == "copies"
+        assert payload["sites"]["failures"] == 1
+        assert payload["sites"]["recoveries"] == 1
+        assert payload["counters"]["completions"] == 60
+
+    def test_sites_default_replication_is_copies(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "6",
+            "--completions", "40",
+            "--sites", "2",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(text)["sites"]["replication"] == "copies"
+
+    def test_malformed_fail_at_is_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--sites", "2", "--fail-at", "oops")

@@ -62,7 +62,7 @@ class TestTransactionRecord:
 
 class TestPublicApi:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_top_level_all_names_resolve(self):
         for name in repro.__all__:
@@ -77,11 +77,13 @@ class TestPublicApi:
     def test_subpackages_import(self):
         import repro.adts
         import repro.analysis
+        import repro.distributed
         import repro.sim
 
         assert repro.adts.paper_types() == ["page", "stack", "set", "table"]
-        assert len(repro.analysis.all_figure_ids()) == 16
+        assert len(repro.analysis.all_figure_ids()) == 17
         assert repro.sim.SimulationParameters().database_size == 1000
+        assert repro.distributed.TransactionRouter().site_count == 1
 
     def test_headline_workflow_through_top_level_names_only(self):
         scheduler = repro.Scheduler(policy=repro.ConflictPolicy.RECOVERABILITY)

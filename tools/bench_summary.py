@@ -1,0 +1,110 @@
+"""Write BENCH_summary.json: deterministic per-figure counters.
+
+The pytest-benchmark output (BENCH_results.json) records wall-clock times,
+which vary run to run and machine to machine.  This tool records the
+*deterministic* side of every figure experiment — raw simulation counters
+per (figure, variant, multiprogramming level) point — so the performance
+trajectory of the reproduction can be tracked exactly: two checkouts that
+produce different counters changed behaviour, not noise.
+
+Usage (from the repository root)::
+
+    python tools/bench_summary.py                       # all figures, smoke scale
+    python tools/bench_summary.py --scale bench
+    python tools/bench_summary.py --figures figure-4 figure-4-sites
+    python tools/bench_summary.py --output BENCH_summary.json
+
+Counters recorded per point (summed over the point's runs): completions,
+commits, pseudo-commits, blocks, restarts, cycle checks, aborts, total abort
+length, commit-dependency edges, simulation-engine events, and the simulated
+time (a deterministic float).  Every value derives only from
+``(parameters, seed)``; nothing here measures the host machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.figures import (  # noqa: E402  (path bootstrap above)
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    all_figure_ids,
+    figure_spec,
+)
+from repro.sim.simulator import run_simulation  # noqa: E402
+
+_SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+
+def _point_counters(metrics_list) -> Dict[str, float]:
+    """Sum the deterministic counters of one point's runs.
+
+    The counter set comes from :meth:`repro.sim.metrics.RunMetrics.counters`
+    (the single source of truth), plus the deterministic simulated time.
+    """
+    counters: Dict[str, float] = {"runs": len(metrics_list), "simulated_time": 0.0}
+    for metrics in metrics_list:
+        for name, value in metrics.counters().items():
+            counters[name] = counters.get(name, 0) + value
+        counters["simulated_time"] += metrics.simulated_time
+    counters["simulated_time"] = round(counters["simulated_time"], 6)
+    return counters
+
+
+def summarize(figure_ids: List[str], scale_name: str) -> Dict[str, object]:
+    """Run every requested figure and collect its deterministic counters."""
+    scale = _SCALES[scale_name]
+    figures: Dict[str, object] = {}
+    for figure_id in figure_ids:
+        spec = figure_spec(figure_id, scale)
+        variants: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for variant in spec.variants:
+            per_level: Dict[str, Dict[str, float]] = {}
+            for mpl_level in spec.mpl_levels:
+                run_results = []
+                for run_index in range(spec.runs):
+                    params = spec.base_params.replace(
+                        mpl_level=mpl_level,
+                        seed=spec.base_params.seed + run_index,
+                        **dict(variant.overrides),
+                    )
+                    run_results.append(
+                        run_simulation(params, workload_kind=spec.workload)
+                    )
+                per_level[str(mpl_level)] = _point_counters(run_results)
+            variants[variant.label] = per_level
+        figures[figure_id] = {"title": spec.title, "points": variants}
+        print(f"  {figure_id}: {len(spec.variants)} variants x "
+              f"{len(spec.mpl_levels)} mpl levels", flush=True)
+    return {"scale": scale_name, "figures": figures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    parser.add_argument("--figures", nargs="+", default=None,
+                        metavar="FIGURE", help="restrict to these figure ids")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=ROOT / "BENCH_summary.json")
+    arguments = parser.parse_args(argv)
+    figure_ids = arguments.figures if arguments.figures else all_figure_ids()
+    unknown = sorted(set(figure_ids) - set(all_figure_ids()))
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; known: {all_figure_ids()}")
+    summary = summarize(figure_ids, arguments.scale)
+    arguments.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {arguments.output} ({len(summary['figures'])} figures, "
+          f"scale={arguments.scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
