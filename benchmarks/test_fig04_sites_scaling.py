@@ -1,0 +1,30 @@
+"""Read scaling across replicated sites with per-site resources.
+
+Not a figure of the paper: this is the experiment the per-site resource
+domains exist for.  Each site owns one resource unit, objects are fully
+replicated, and cross-site work pays a 1 ms network cost.  Expected shape:
+read-heavy throughput grows with the site count (read-one routing spreads
+load over hardware that replication added), while write-heavy throughput
+stays roughly flat (write-all-available fan-out consumes every site's
+hardware for every write).
+"""
+
+
+def test_figure_4_sites_scaling(run_figure):
+    result = run_figure("figure-4-sites-scaling")
+    peaks = {label: result.peak(label)[1] for label in result.variant_labels()}
+    for label, peak in peaks.items():
+        assert peak > 0, f"{label} completed no work"
+    # Read-heavy work scales with replicated sites: every added site is
+    # added hardware, and reads only load the replica that serves them.
+    assert peaks["4-site/read-heavy"] > peaks["1-site/read-heavy"]
+    assert peaks["2-site/read-heavy"] > peaks["1-site/read-heavy"]
+    assert peaks["4-site/read-heavy"] >= 1.5 * peaks["1-site/read-heavy"]
+    # Write-heavy work does not scale — every write charges every site —
+    # but replication must not cost more than a sliver either (the network
+    # delay and fan-out coordination are the only overheads).
+    assert peaks["4-site/write-heavy"] >= 0.95 * peaks["1-site/write-heavy"]
+    # Within one site count, the read-heavy workload outruns the
+    # write-heavy one: writes both conflict more and fan out wider.
+    for sites in (2, 4):
+        assert peaks[f"{sites}-site/read-heavy"] > peaks[f"{sites}-site/write-heavy"]

@@ -16,6 +16,10 @@ The CLI exposes the experiment harness without writing any Python:
 ``python -m repro simulate --sites 4 --replication copies --fail-at 2:1 --recover-at 6:1``
     run the multi-site system: four sites with available-copies replication,
     site 1 crashing at t=2 s and recovering at t=6 s of simulated time;
+``python -m repro simulate --sites 4 --resource-units 1 --resource-placement per_site --msg-time 0.001``
+    give each site its own hardware (one CPU + two disks here) and charge
+    1 ms of network delay to work routed away from a transaction's home
+    site, so replicated reads scale with the site count;
 ``python -m repro simulate --json``
     emit the run's deterministic metrics and raw counters as JSON (for
     scripting and CI gating).
@@ -41,6 +45,7 @@ from .analysis import (
     run_experiment,
 )
 from .adts import paper_types
+from .core.errors import SimulationError
 from .core.policy import ConflictPolicy
 from .sim.params import SimulationParameters
 from .sim.simulator import Simulation
@@ -80,7 +85,17 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--completions", type=int, default=500)
     simulate.add_argument("--database-size", type=int, default=1000)
     simulate.add_argument("--resource-units", type=int, default=None,
-                          help="number of resource units (omit for infinite)")
+                          help="number of resource units (omit for infinite); "
+                               "under --resource-placement per_site this is "
+                               "the hardware of each site")
+    simulate.add_argument("--resource-placement", choices=["global", "per_site"],
+                          default="global",
+                          help="one shared CPU/disk pool (global, the paper's "
+                               "model) or one pool per site (per_site)")
+    simulate.add_argument("--msg-time", type=float, default=0.0,
+                          help="cross-site network cost in seconds charged to "
+                               "work routed away from a transaction's home "
+                               "site (default 0: no network model)")
     simulate.add_argument("--write-probability", type=float, default=0.3)
     simulate.add_argument("--pc", type=int, default=4)
     simulate.add_argument("--pr", type=int, default=4)
@@ -103,19 +118,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _parse_site_events(
-    fail_at: List[str], recover_at: List[str]
+    fail_at: List[str], recover_at: List[str], site_count: int, error
 ) -> Tuple[Tuple[float, str, int], ...]:
-    """Turn repeated ``TIME:SITE`` flags into a sorted failure schedule."""
+    """Turn repeated ``TIME:SITE`` flags into a sorted failure schedule.
+
+    ``error`` is :meth:`argparse.ArgumentParser.error`: every malformed entry
+    — bad syntax, unparsable numbers, negative times, sites outside the
+    ``--sites`` range — exits with a usage message instead of a traceback.
+    """
     events: List[Tuple[float, str, int]] = []
     for action, entries in (("fail", fail_at), ("recover", recover_at)):
         for entry in entries:
             try:
                 time_text, site_text = entry.split(":", 1)
-                events.append((float(time_text), action, int(site_text)))
+                time, site = float(time_text), int(site_text)
             except ValueError:
-                raise SystemExit(
-                    f"--{action}-at expects TIME:SITE (e.g. 2.5:1), got {entry!r}"
-                ) from None
+                error(f"--{action}-at expects TIME:SITE (e.g. 2.5:1), got {entry!r}")
+            if time < 0:
+                error(f"--{action}-at time must be non-negative, got {entry!r}")
+            if not 0 <= site < site_count:
+                error(
+                    f"--{action}-at site {site} is outside [0, {site_count}) "
+                    f"for --sites {site_count}"
+                )
+            events.append((time, action, site))
     events.sort(key=lambda event: (event[0], event[2], event[1]))
     return tuple(events)
 
@@ -152,25 +178,32 @@ def _command_figure(figure_id: str, scale_name: str, output: Optional[pathlib.Pa
     return 0
 
 
-def _command_simulate(arguments, out) -> int:
+def _command_simulate(arguments, out, error) -> int:
     replication = arguments.replication
     if replication is None:
         replication = "single" if arguments.sites == 1 else "copies"
-    params = SimulationParameters(
-        database_size=arguments.database_size,
-        mpl_level=arguments.mpl,
-        total_completions=arguments.completions,
-        policy=_POLICIES[arguments.policy],
-        resource_units=arguments.resource_units,
-        write_probability=arguments.write_probability,
-        pc=arguments.pc,
-        pr=arguments.pr,
-        fair_scheduling=not arguments.unfair,
-        seed=arguments.seed,
-        site_count=arguments.sites,
-        replication=replication,
-        failure_schedule=_parse_site_events(arguments.fail_at, arguments.recover_at),
-    )
+    try:
+        params = SimulationParameters(
+            database_size=arguments.database_size,
+            mpl_level=arguments.mpl,
+            total_completions=arguments.completions,
+            policy=_POLICIES[arguments.policy],
+            resource_units=arguments.resource_units,
+            resource_placement=arguments.resource_placement,
+            msg_time=arguments.msg_time,
+            write_probability=arguments.write_probability,
+            pc=arguments.pc,
+            pr=arguments.pr,
+            fair_scheduling=not arguments.unfair,
+            seed=arguments.seed,
+            site_count=arguments.sites,
+            replication=replication,
+            failure_schedule=_parse_site_events(
+                arguments.fail_at, arguments.recover_at, arguments.sites, error
+            ),
+        )
+    except SimulationError as exc:
+        error(str(exc))
     simulation = Simulation(params, workload_kind=arguments.workload)
     metrics = simulation.run()
     if arguments.json:
@@ -180,6 +213,7 @@ def _command_simulate(arguments, out) -> int:
             "workload": arguments.workload,
             "metrics": metrics.as_dict(),
             "counters": metrics.counters(),
+            "resources": simulation.resources.utilisation_summary(),
             "sites": {
                 "count": params.site_count,
                 "replication": params.replication,
@@ -200,7 +234,8 @@ def _command_simulate(arguments, out) -> int:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
-    arguments = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list(out)
     if arguments.command == "tables":
@@ -208,7 +243,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if arguments.command == "figure":
         return _command_figure(arguments.figure_id, arguments.scale, arguments.output, out)
     if arguments.command == "simulate":
-        return _command_simulate(arguments, out)
+        return _command_simulate(arguments, out, parser.error)
     return 2  # pragma: no cover - argparse enforces the choices above
 
 

@@ -139,6 +139,9 @@ class GlobalTransaction:
     gtid: int
     label: Optional[str] = None
     status: TransactionStatus = TransactionStatus.ACTIVE
+    #: The site this transaction's client sits at: work routed elsewhere pays
+    #: the network cost ``msg_time`` (when a resource charger models one).
+    home_site: int = 0
     #: Site id -> branch (lazily created on the first operation at the site).
     branches: Dict[int, BranchRef] = field(default_factory=dict)
     #: Sites this transaction has written to (the failure-abort rule).
@@ -255,6 +258,11 @@ class TransactionRouter:
         self._specs: Dict[str, TypeSpecification] = {}
         self._listeners: List[SchedulerListener] = []
         self._next_gtid = 0
+        #: Where granted operations are charged for hardware/network time
+        #: (a :class:`~repro.sim.resources.ResourceCharger`); ``None`` until
+        #: a simulation attaches one — the router's protocol decisions never
+        #: depend on it, only the timing of the physical phase does.
+        self._charger = None
 
     # ------------------------------------------------------------------
     # Setup (Scheduler-compatible, so workloads can register blindly)
@@ -285,6 +293,58 @@ class TransactionRouter:
         """Subscribe a listener to *global* transaction events."""
         self._listeners.append(listener)
 
+    def attach_resources(self, charger) -> None:
+        """Wire up the hardware granted operations are charged to.
+
+        ``charger`` is a :class:`~repro.sim.resources.ResourceCharger`; a
+        per-site charger additionally hands each site its own
+        :class:`~repro.sim.resources.ResourceDomain` so replica selection
+        can prefer the least-loaded copy.
+        """
+        self._charger = charger
+        domains = getattr(charger, "domains", None)
+        if domains is not None:
+            if len(domains) != self.site_count:
+                raise ReproError(
+                    f"charger has {len(domains)} domains, router has "
+                    f"{self.site_count} sites"
+                )
+            for site, domain in zip(self.sites, domains):
+                site.attach_domain(domain)
+
+    # ------------------------------------------------------------------
+    # Resource charging (the physical phase of a granted operation)
+    # ------------------------------------------------------------------
+    def perform_step(self, transaction_id: int, done) -> None:
+        """Charge the transaction's in-flight granted operation.
+
+        Delegates to the attached charger with the sites whose replicas
+        executed the operation and the transaction's home site; ``done``
+        fires when the physical phase (CPU/disk service plus any network
+        delay) completes.
+        """
+        if self._charger is None:
+            raise ReproError("no resource charger attached to the router")
+        transaction = self.transaction(transaction_id)
+        request = transaction.current_request
+        if request is None or not request.executed:
+            raise TransactionStateError(
+                f"global transaction {transaction.gtid} has no executed "
+                "operation to charge resources for"
+            )
+        self._charger.perform_operation(
+            sorted(request.branch_handles), transaction.home_site, done
+        )
+
+    def commit_network_delay(self, transaction_id: int) -> float:
+        """Network delay of fanning this transaction's commit to its branches."""
+        if self._charger is None:
+            return 0.0
+        transaction = self.transaction(transaction_id)
+        return self._charger.commit_network_delay(
+            sorted(transaction.branches), transaction.home_site
+        )
+
     # ------------------------------------------------------------------
     # Aggregated statistics
     # ------------------------------------------------------------------
@@ -304,10 +364,25 @@ class TransactionRouter:
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
-    def begin(self, label: Optional[str] = None) -> GlobalTransaction:
-        """Start a new global transaction (branches open lazily per site)."""
+    def begin(
+        self, label: Optional[str] = None, home_site: Optional[int] = None
+    ) -> GlobalTransaction:
+        """Start a new global transaction (branches open lazily per site).
+
+        ``home_site`` is where the transaction's client sits (the origin of
+        its network traffic); by default clients are spread round-robin over
+        the sites, which with one site is always site 0.
+        """
         self._next_gtid += 1
-        transaction = GlobalTransaction(gtid=self._next_gtid, label=label)
+        if home_site is None:
+            home_site = (self._next_gtid - 1) % self.site_count
+        elif not 0 <= home_site < self.site_count:
+            raise ReproError(
+                f"home_site {home_site} outside [0, {self.site_count})"
+            )
+        transaction = GlobalTransaction(
+            gtid=self._next_gtid, label=label, home_site=home_site
+        )
         self.transactions[transaction.gtid] = transaction
         self.router_stats.begins += 1
         return transaction
@@ -371,14 +446,18 @@ class TransactionRouter:
             # the object name (each object has a deterministic home replica),
             # falling over to the next readable copy when it is down or
             # still recovering.  With one site this always picks site 0.
+            # When per-site hardware is attached, prefer the least-loaded
+            # readable replica instead (hash order breaks ties), so reads
+            # balance over the capacity replication added.
             offset = zlib.crc32(object_name.encode("utf-8")) % len(placed)
             ordered = placed[offset:] + placed[:offset]
-            target = next(
-                (sid for sid in ordered if self.sites[sid].readable(object_name)), None
-            )
-            if target is None:
+            candidates = [
+                sid for sid in ordered if self.sites[sid].readable(object_name)
+            ]
+            if not candidates:
                 self._unavailable(transaction, request)
                 return request
+            target = self._select_read_replica(candidates)
             self._submit_branch(transaction, self.sites[target], request)
         else:
             targets = [sid for sid in placed if self.sites[sid].writable(object_name)]
@@ -418,6 +497,25 @@ class TransactionRouter:
             branch.local_tid, request.object_name, request.invocation
         )
         request.branch_handles[site.site_id] = handle
+
+    def _select_read_replica(self, candidates: List[int]) -> int:
+        """Pick the replica a read executes at from the readable candidates.
+
+        ``candidates`` come in hash-rotation order.  Without per-site
+        hardware (no domains attached: no charger, or a shared global pool)
+        the first is taken — the pre-refactor behaviour.  With site-owned
+        domains the least-loaded candidate wins, earlier rotation position
+        breaking ties deterministically.
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        domains = [self.sites[sid].domain for sid in candidates]
+        if any(domain is None for domain in domains):
+            return candidates[0]
+        best = min(
+            range(len(candidates)), key=lambda index: (domains[index].load, index)
+        )
+        return candidates[best]
 
     def _is_read_only(self, object_name: str, invocation: Invocation) -> bool:
         spec = self._specs[object_name]

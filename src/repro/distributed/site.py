@@ -88,6 +88,13 @@ class Site:
         self.retain_terminated = retain_terminated
         self.backend_factory = backend_factory
         self.status = SiteStatus.UP
+        #: This site's hardware under per-site resource placement (a
+        #: :class:`~repro.sim.resources.ResourceDomain`), attached by the
+        #: router when a per-site charger is wired up; ``None`` while the
+        #: system charges one shared global pool.  Hardware is physical, so
+        #: it survives :meth:`fail`/:meth:`recover` — a crash loses volatile
+        #: scheduler state, not the machines.
+        self.domain = None
         #: Incremented on every crash; a (local tid, generation) pair uniquely
         #: identifies a transaction branch across scheduler replacements.
         self.generation = 0
@@ -169,6 +176,18 @@ class Site:
     def mark_readable(self, name: str) -> None:
         """A committed write refreshed the copy of ``name``."""
         self.unreadable.discard(name)
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+    def attach_domain(self, domain) -> None:
+        """Give this site its own hardware (per-site resource placement)."""
+        self.domain = domain
+
+    @property
+    def load(self) -> int:
+        """Outstanding work at this site's hardware (0 without a domain)."""
+        return 0 if self.domain is None else self.domain.load
 
     # ------------------------------------------------------------------
     # Lifecycle

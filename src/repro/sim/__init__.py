@@ -10,7 +10,15 @@ from .engine import EventEngine, ScheduledEvent
 from .metrics import MetricsCollector, RunMetrics
 from .params import INFINITE_RESOURCES, SimulationParameters
 from .random_source import RandomSource
-from .resources import FifoServer, ResourceModel
+from .resources import (
+    FifoServer,
+    GlobalResourceModel,
+    PerSiteResources,
+    ResourceCharger,
+    ResourceDomain,
+    ResourceModel,
+    make_resource_charger,
+)
 from .simulator import LogicalTransaction, Simulation, run_simulation
 from .terminals import Terminal, TerminalPool
 from .workload import (
@@ -31,7 +39,12 @@ __all__ = [
     "SimulationParameters",
     "RandomSource",
     "FifoServer",
+    "GlobalResourceModel",
+    "PerSiteResources",
+    "ResourceCharger",
+    "ResourceDomain",
     "ResourceModel",
+    "make_resource_charger",
     "LogicalTransaction",
     "Simulation",
     "run_simulation",

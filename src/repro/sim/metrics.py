@@ -21,7 +21,7 @@ value at the end of the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = ["RunMetrics", "MetricsCollector"]
 
@@ -42,6 +42,11 @@ class RunMetrics:
     abort_length_total: int
     commit_dependency_edges: int
     events_processed: int
+    #: The resource charger's utilisation summary at the end of the run
+    #: (cpu/disk served and waits, per-site breakdowns, network messages),
+    #: frozen as sorted pairs.  Counters only — deterministic ints; the
+    #: infinite-resource marker string is dropped.
+    resource_summary: Tuple[Tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------
     # The paper's derived metrics
@@ -96,7 +101,7 @@ class RunMetrics:
         for the CLI's ``--json`` counter block and for
         ``tools/bench_summary.py``; add new counters here, not there.
         """
-        return {
+        counters = {
             "completions": self.completions,
             "commits": self.commits,
             "pseudo_commits": self.pseudo_commits,
@@ -108,6 +113,13 @@ class RunMetrics:
             "commit_dependency_edges": self.commit_dependency_edges,
             "events_processed": self.events_processed,
         }
+        # Resource saturation rides along so the perf trajectory shows *why*
+        # a configuration slowed down, not just that it did.  Finite runs
+        # contribute cpu/disk served+waits (per site under per-site
+        # placement); infinite runs contribute nothing.
+        for name, value in self.resource_summary:
+            counters[f"resource_{name}"] = value
+        return counters
 
     def as_dict(self) -> Dict[str, float]:
         """Flat mapping of every metric the reports print."""
@@ -135,12 +147,15 @@ class MetricsCollector:
         self.pseudo_commits = 0
         self.response_time_total = 0.0
         self.restarts = 0
-        # Scheduler-side counters are snapshotted at the start of the
-        # measurement window and subtracted at the end.
+        # Scheduler-side and resource counters are snapshotted at the start
+        # of the measurement window and subtracted at the end.
         self._scheduler_snapshot: Dict[str, int] = {}
+        self._resource_snapshot: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def begin_measurement(self, now: float, scheduler_stats) -> None:
+    def begin_measurement(
+        self, now: float, scheduler_stats, resource_summary: Optional[Mapping[str, object]] = None
+    ) -> None:
         """Start (or restart) the measurement window at simulated time ``now``."""
         self.started_at = now
         self.completions = 0
@@ -148,6 +163,14 @@ class MetricsCollector:
         self.pseudo_commits = 0
         self.response_time_total = 0.0
         self.restarts = 0
+        # Like the scheduler counters, resource utilisation accumulated
+        # before the window (warm-up) is snapshotted and subtracted at
+        # freeze time, so saturation is reported per measured work.
+        self._resource_snapshot = {
+            name: value
+            for name, value in (resource_summary or {}).items()
+            if isinstance(value, int)
+        }
         self._scheduler_snapshot = {
             "blocks": scheduler_stats.blocks,
             "cycle_checks": scheduler_stats.cycle_checks,
@@ -170,7 +193,13 @@ class MetricsCollector:
         self.restarts += 1
 
     # ------------------------------------------------------------------
-    def freeze(self, now: float, scheduler_stats, events_processed: int) -> RunMetrics:
+    def freeze(
+        self,
+        now: float,
+        scheduler_stats,
+        events_processed: int,
+        resource_summary: Optional[Mapping[str, object]] = None,
+    ) -> RunMetrics:
         """Produce the immutable :class:`RunMetrics` for the window."""
         snapshot = self._scheduler_snapshot or {
             "blocks": 0,
@@ -194,4 +223,11 @@ class MetricsCollector:
             commit_dependency_edges=scheduler_stats.commit_dependency_edges
             - snapshot["commit_dependency_edges"],
             events_processed=events_processed,
+            resource_summary=tuple(
+                sorted(
+                    (name, value - self._resource_snapshot.get(name, 0))
+                    for name, value in (resource_summary or {}).items()
+                    if isinstance(value, int)
+                )
+            ),
         )

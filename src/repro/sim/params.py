@@ -57,7 +57,20 @@ class SimulationParameters:
 
     # ----- resources ----------------------------------------------------------
     #: Number of resource units (1 CPU + 2 disks each); ``None`` = infinite.
+    #: Under ``resource_placement="per_site"`` this is the hardware of *each*
+    #: site, so the system's total capacity grows with ``site_count``.
     resource_units: Optional[int] = INFINITE_RESOURCES
+    #: Where the hardware lives: ``"global"`` (the paper's model: one shared
+    #: CPU/disk pool charged once per granted operation, however many replica
+    #: branches executed it) or ``"per_site"`` (each site owns a pool of
+    #: ``resource_units`` units and every executing replica is charged to the
+    #: hardware of its site).
+    resource_placement: str = "global"
+    #: Cross-site network cost in seconds: work routed to a site other than
+    #: the transaction's home site is delayed by ``msg_time`` (submit and
+    #: commit fan-out); site-local work pays nothing.  Zero disables the
+    #: network model entirely (no extra events, preserving pinned streams).
+    msg_time: float = 0.0
 
     # ----- read/write workload -------------------------------------------------
     #: Probability that an operation of the read/write workload is a write.
@@ -126,6 +139,12 @@ class SimulationParameters:
             raise SimulationError("think time must be non-negative")
         if self.resource_units is not None and self.resource_units <= 0:
             raise SimulationError("resource_units must be positive (or None for infinite)")
+        if self.resource_placement not in ("global", "per_site"):
+            raise SimulationError(
+                "resource_placement must be 'global' or 'per_site'"
+            )
+        if self.msg_time < 0:
+            raise SimulationError("msg_time must be non-negative")
         if not 0.0 <= self.write_probability <= 1.0:
             raise SimulationError("write_probability must lie in [0, 1]")
         if self.operations_per_object <= 0:

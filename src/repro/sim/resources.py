@@ -11,21 +11,45 @@ the concurrency-control request is granted:
   randomly chosen disk (each disk has its own FIFO queue) for ``io_time``
   seconds.
 
-:class:`ResourceModel` hides the two cases behind a single
-``perform_step(done_callback)`` call so the simulator does not care which
-configuration is active.
+The module models *where* that hardware lives as well as what it is:
+
+* :class:`ResourceDomain` — one pool of hardware (a CPU pool plus disks, or
+  an infinite-resource stand-in) with a ``perform_step(done)`` interface;
+* :class:`GlobalResourceModel` — the paper's centralized configuration: one
+  domain shared by every site, charged once per granted operation regardless
+  of how many replicas executed it.  This is the pre-refactor
+  ``ResourceModel`` (the name is kept as an alias) and its event/rng stream
+  is bit-identical to it;
+* :class:`PerSiteResources` — one :class:`ResourceDomain` per site, so each
+  replica of a write is charged to the hardware of the site that executed it
+  and a read only loads the one replica that served it.  Remote work
+  additionally pays the network cost ``msg_time`` (zero for site-local
+  work), which gives read-one/write-all-available routing its asymmetry.
+
+Both placements implement the :class:`ResourceCharger` interface the
+:class:`~repro.distributed.router.TransactionRouter` charges operations
+through; :func:`make_resource_charger` picks the placement from
+``SimulationParameters.resource_placement``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
 from .engine import EventEngine
 from .params import SimulationParameters
 from .random_source import RandomSource
 
-__all__ = ["FifoServer", "ResourceModel"]
+__all__ = [
+    "FifoServer",
+    "ResourceDomain",
+    "ResourceCharger",
+    "GlobalResourceModel",
+    "PerSiteResources",
+    "ResourceModel",
+    "make_resource_charger",
+]
 
 
 class FifoServer:
@@ -69,28 +93,73 @@ class FifoServer:
         """Number of servers currently in use."""
         return self.capacity - self.free
 
+    @property
+    def load(self) -> int:
+        """Work at this server pool: in service plus queued."""
+        return self.capacity - self.free + len(self.queue)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FifoServer {self.name!r} busy={self.busy}/{self.capacity} queued={len(self.queue)}>"
 
 
-class ResourceModel:
-    """CPU/disk service for operation steps."""
+class ResourceDomain:
+    """One pool of hardware: a CPU pool plus disks, or an infinite stand-in.
+
+    This is the unit a :class:`~repro.distributed.site.Site` owns under
+    per-site resource placement; the :class:`GlobalResourceModel` facade is a
+    thin wrapper around one shared domain.  ``num_cpus=0`` selects the
+    infinite-resource configuration (every step takes ``step_time`` with no
+    queueing).
+
+    The disk chosen for an operation's I/O phase is uniformly random among
+    the domain's disks — except when the domain has exactly one disk, where
+    the choice is forced and no rng draw is consumed.  The shared global
+    model keeps the unconditional draw (see :class:`GlobalResourceModel`)
+    because its pinned event/rng streams predate the short-circuit.
+    """
 
     def __init__(
         self,
         engine: EventEngine,
-        params: SimulationParameters,
         rng: RandomSource,
+        *,
+        num_cpus: int,
+        num_disks: int,
+        cpu_time: float,
+        io_time: float,
+        step_time: float,
+        name: str = "",
+        single_disk_shortcut: bool = True,
     ):
         self.engine = engine
-        self.params = params
         self.rng = rng
-        if params.infinite_resources:
+        self.name = name
+        self.cpu_time = cpu_time
+        self.io_time = io_time
+        self.step_time = step_time
+        self._single_disk_shortcut = single_disk_shortcut
+        if num_cpus <= 0:
             self.cpus: Optional[FifoServer] = None
             self.disks: List[FifoServer] = []
         else:
-            self.cpus = FifoServer("cpus", params.num_cpus)
-            self.disks = [FifoServer(f"disk{i}", 1) for i in range(params.num_disks)]
+            self.cpus = FifoServer(f"{name}cpus", num_cpus)
+            self.disks = [FifoServer(f"{name}disk{i}", 1) for i in range(num_disks)]
+
+    @property
+    def infinite(self) -> bool:
+        """True when this domain models no CPU/disk contention."""
+        return self.cpus is None
+
+    @property
+    def load(self) -> int:
+        """Outstanding work at this domain (busy plus queued, CPUs and disks).
+
+        The router's least-loaded read-one selection ranks replicas by this;
+        an infinite domain never queues, so its load is always zero.
+        """
+        if self.cpus is None:
+            return 0
+        return self.cpus.load + sum(disk.load for disk in self.disks)
 
     # ------------------------------------------------------------------
     def perform_step(self, done: Callable[[], None]) -> None:
@@ -101,7 +170,7 @@ class ResourceModel:
         each with possible queueing.
         """
         if self.cpus is None:
-            self.engine.schedule(self.params.step_time, done)
+            self.engine.schedule(self.step_time, done)
             return
         self._acquire_cpu(done)
 
@@ -110,7 +179,7 @@ class ResourceModel:
     # ------------------------------------------------------------------
     def _acquire_cpu(self, done: Callable[[], None]) -> None:
         def got_cpu() -> None:
-            self.engine.schedule(self.params.cpu_time, cpu_finished)
+            self.engine.schedule(self.cpu_time, cpu_finished)
 
         def cpu_finished() -> None:
             assert self.cpus is not None
@@ -120,11 +189,19 @@ class ResourceModel:
         assert self.cpus is not None
         self.cpus.acquire(got_cpu)
 
+    def _choose_disk(self) -> FifoServer:
+        # A single-disk domain has no choice to make: skip the rng draw so
+        # the hot path does less work and the stream is not perturbed by a
+        # decision that cannot vary.
+        if self._single_disk_shortcut and len(self.disks) == 1:
+            return self.disks[0]
+        return self.rng.choice(self.disks)
+
     def _acquire_disk(self, done: Callable[[], None]) -> None:
-        disk = self.rng.choice(self.disks)
+        disk = self._choose_disk()
 
         def got_disk() -> None:
-            self.engine.schedule(self.params.io_time, io_finished)
+            self.engine.schedule(self.io_time, io_finished)
 
         def io_finished() -> None:
             disk.release()
@@ -133,14 +210,260 @@ class ResourceModel:
         disk.acquire(got_disk)
 
     # ------------------------------------------------------------------
-    def utilisation_summary(self) -> dict:
+    def utilisation_summary(self) -> Dict[str, object]:
         """Rough utilisation counters (served / waited) for reporting."""
         if self.cpus is None:
             return {"resources": "infinite"}
-        summary = {
+        return {
             "cpu_served": self.cpus.served,
             "cpu_waits": self.cpus.waits,
             "disk_served": sum(d.served for d in self.disks),
             "disk_waits": sum(d.waits for d in self.disks),
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.cpus is None:
+            return f"<ResourceDomain {self.name!r} infinite>"
+        return (
+            f"<ResourceDomain {self.name!r} cpus={self.cpus.capacity} "
+            f"disks={len(self.disks)} load={self.load}>"
+        )
+
+
+class ResourceCharger:
+    """Where granted operations are charged for hardware and network time.
+
+    The :class:`~repro.distributed.router.TransactionRouter` calls
+    :meth:`perform_operation` once per granted global operation with the set
+    of sites whose replicas executed it and the transaction's home site; the
+    charger decides which hardware serves the work and what network delay
+    applies, then calls ``done`` when the physical phase completes.
+    """
+
+    #: Messages sent across sites (remote submits and commit fan-outs).
+    messages_sent: int = 0
+
+    def perform_operation(
+        self,
+        executed_sites: Sequence[int],
+        home_site: int,
+        done: Callable[[], None],
+    ) -> None:
+        raise NotImplementedError
+
+    def commit_network_delay(self, branch_sites: Iterable[int], home_site: int) -> float:
+        """Network delay of the commit fan-out to the transaction's branches.
+
+        Zero when every branch is home-site local (or ``msg_time`` is zero);
+        one ``msg_time`` otherwise — the fan-out messages travel in parallel.
+        """
+        return 0.0
+
+    def utilisation_summary(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class GlobalResourceModel(ResourceCharger):
+    """CPU/disk service for operation steps from one shared pool.
+
+    The paper's centralized configuration: all sites draw on the same
+    hardware, and a granted operation is charged once no matter how many
+    replica branches executed it — adding sites adds coordination, never
+    capacity.  The event and rng streams are bit-identical to the
+    pre-refactor ``ResourceModel`` (the disk draw is unconditional even for
+    one disk, and no network events exist while ``msg_time`` is zero), which
+    keeps the pinned ``sites=1`` runs reproducible.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        params: SimulationParameters,
+        rng: RandomSource,
+    ):
+        self.engine = engine
+        self.params = params
+        self.rng = rng
+        self.msg_time = params.msg_time
+        self.messages_sent = 0
+        self._domain = ResourceDomain(
+            engine,
+            rng,
+            num_cpus=params.num_cpus,
+            num_disks=params.num_disks,
+            cpu_time=params.cpu_time,
+            io_time=params.io_time,
+            step_time=params.step_time,
+            # Pinned streams predate the single-disk shortcut: keep the
+            # unconditional draw order of the original global model.
+            single_disk_shortcut=False,
+        )
+
+    # Back-compat views of the shared domain (pre-refactor attribute names).
+    @property
+    def cpus(self) -> Optional[FifoServer]:
+        return self._domain.cpus
+
+    @property
+    def disks(self) -> List[FifoServer]:
+        return self._domain.disks
+
+    # ------------------------------------------------------------------
+    def perform_step(self, done: Callable[[], None]) -> None:
+        """Charge one operation to the shared pool (pre-refactor interface)."""
+        self._domain.perform_step(done)
+
+    def perform_operation(
+        self,
+        executed_sites: Sequence[int],
+        home_site: int,
+        done: Callable[[], None],
+    ) -> None:
+        """One charge per granted operation, wherever its replicas ran."""
+        remote = (
+            sum(1 for sid in executed_sites if sid != home_site)
+            if self.msg_time > 0
+            else 0
+        )
+        if remote:
+            # One message per remote replica (same accounting as the
+            # per-site charger); they travel in parallel, so the shared
+            # pool's single charge starts after one msg_time.
+            self.messages_sent += remote
+            self.engine.schedule(self.msg_time, lambda: self._domain.perform_step(done))
+        else:
+            self._domain.perform_step(done)
+
+    def commit_network_delay(self, branch_sites: Iterable[int], home_site: int) -> float:
+        if self.msg_time > 0:
+            remote = sum(1 for sid in branch_sites if sid != home_site)
+            if remote:
+                self.messages_sent += remote
+                return self.msg_time
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def utilisation_summary(self) -> Dict[str, object]:
+        """Rough utilisation counters (served / waited) for reporting."""
+        summary = self._domain.utilisation_summary()
+        if self.msg_time > 0:
+            summary["messages_sent"] = self.messages_sent
         return summary
+
+
+class PerSiteResources(ResourceCharger):
+    """One :class:`ResourceDomain` per site: hardware follows data placement.
+
+    Every replica branch of a granted operation is charged to the domain of
+    the site that executed it (the phases run in parallel; the operation
+    completes when the slowest replica does), and work at a site other than
+    the transaction's home pays ``msg_time`` of network delay first.  This
+    is what lets replication show its read-scaling upside: each added site
+    adds ``resource_units`` of capacity, reads load one replica each, and
+    only writes fan out.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        params: SimulationParameters,
+        rng: RandomSource,
+        site_count: int,
+    ):
+        self.engine = engine
+        self.params = params
+        self.msg_time = params.msg_time
+        self.messages_sent = 0
+        #: Operation charges that involved at least one remote replica.
+        self.remote_operations = 0
+        self.domains: List[ResourceDomain] = [
+            ResourceDomain(
+                engine,
+                # Independent per-site streams: one site's disk choices must
+                # not perturb another's, and adding a site must not reshuffle
+                # the existing sites' draws.
+                rng.spawn(f"site{site_id}"),
+                num_cpus=params.num_cpus,
+                num_disks=params.num_disks,
+                cpu_time=params.cpu_time,
+                io_time=params.io_time,
+                step_time=params.step_time,
+                name=f"site{site_id}/",
+            )
+            for site_id in range(site_count)
+        ]
+
+    # ------------------------------------------------------------------
+    def perform_operation(
+        self,
+        executed_sites: Sequence[int],
+        home_site: int,
+        done: Callable[[], None],
+    ) -> None:
+        """Charge every executing replica's domain; done when all finish."""
+        sites = sorted(executed_sites)
+        if not sites:
+            raise ValueError("perform_operation needs at least one executing site")
+        remaining = len(sites)
+
+        def branch_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                done()
+
+        remote = False
+        for site_id in sites:
+            domain = self.domains[site_id]
+            if self.msg_time > 0 and site_id != home_site:
+                remote = True
+                self.messages_sent += 1
+                self.engine.schedule(
+                    self.msg_time,
+                    lambda domain=domain: domain.perform_step(branch_done),
+                )
+            else:
+                domain.perform_step(branch_done)
+        if remote:
+            self.remote_operations += 1
+
+    def commit_network_delay(self, branch_sites: Iterable[int], home_site: int) -> float:
+        if self.msg_time > 0:
+            remote = sum(1 for sid in branch_sites if sid != home_site)
+            if remote:
+                self.messages_sent += remote
+                return self.msg_time
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def utilisation_summary(self) -> Dict[str, object]:
+        """Per-site utilisation counters plus system-wide aggregates."""
+        summary: Dict[str, object] = {}
+        totals: Dict[str, int] = {}
+        for site_id, domain in enumerate(self.domains):
+            per_site = domain.utilisation_summary()
+            if "resources" in per_site:
+                summary["resources"] = "infinite"
+                continue
+            for key, value in per_site.items():
+                summary[f"site{site_id}_{key}"] = value
+                totals[key] = totals.get(key, 0) + int(value)
+        summary.update(totals)
+        summary["messages_sent"] = self.messages_sent
+        summary["remote_operations"] = self.remote_operations
+        return summary
+
+
+#: Pre-refactor name of the shared-pool model, kept for callers and tests.
+ResourceModel = GlobalResourceModel
+
+
+def make_resource_charger(
+    engine: EventEngine,
+    params: SimulationParameters,
+    rng: RandomSource,
+) -> ResourceCharger:
+    """Build the resource charger ``params.resource_placement`` selects."""
+    if params.resource_placement == "per_site":
+        return PerSiteResources(engine, params, rng, params.site_count)
+    return GlobalResourceModel(engine, params, rng)

@@ -15,7 +15,11 @@ One :class:`Simulation` object models the whole system of the paper's Figure 3:
   available-copies semantics: writers of a failed site abort and restart,
   recovered replicas stay unreadable until a committed write;
 * a resource phase per executed operation (constant ``step_time`` under
-  infinite resources; CPU then disk queueing under finite resources);
+  infinite resources; CPU then disk queueing under finite resources),
+  charged through the router to one shared global pool or to the domains
+  of the sites that executed the operation's replicas
+  (``resource_placement``), with a ``msg_time`` network delay on work
+  routed away from the transaction's home site;
 * immediate restart of aborted transactions at the end of the ready queue,
   re-executing the same operations;
 * completion at pseudo-commit or commit, after which the issuing terminal
@@ -48,7 +52,7 @@ from .engine import EventEngine
 from .metrics import MetricsCollector, RunMetrics
 from .params import SimulationParameters
 from .random_source import RandomSource
-from .resources import ResourceModel
+from .resources import make_resource_charger
 from .terminals import Terminal, TerminalPool
 from .workload import TransactionTemplate, Workload, make_workload
 
@@ -121,7 +125,12 @@ class Simulation(SchedulerListener):
         )
         self.router.add_listener(self)
         self.workload.register_objects(self.router)
-        self.resources = ResourceModel(self.engine, params, self.resource_rng)
+        # The hardware: one shared pool (the paper's model) or one domain
+        # per site, per ``params.resource_placement``.  The router owns the
+        # charging — the simulator only sees "this operation's physical
+        # phase is done" — so hardware follows data placement.
+        self.resources = make_resource_charger(self.engine, params, self.resource_rng)
+        self.router.attach_resources(self.resources)
         self.terminals = TerminalPool(params.num_terminals)
         self.metrics = MetricsCollector()
 
@@ -142,7 +151,9 @@ class Simulation(SchedulerListener):
                 2_000_000,
                 200 * self.params.total_completions * self.params.max_length,
             )
-        self.metrics.begin_measurement(0.0, self.router.stats)
+        self.metrics.begin_measurement(
+            0.0, self.router.stats, self.resources.utilisation_summary()
+        )
         self._schedule_site_events()
         for terminal in self.terminals:
             terminal.think_then_submit(
@@ -150,7 +161,10 @@ class Simulation(SchedulerListener):
             )
         self.engine.run(until=self._done, max_events=max_events)
         return self.metrics.freeze(
-            self.engine.now, self.router.stats, self.engine.events_processed
+            self.engine.now,
+            self.router.stats,
+            self.engine.events_processed,
+            resource_summary=self.resources.utilisation_summary(),
         )
 
     def _schedule_site_events(self) -> None:
@@ -233,26 +247,48 @@ class Simulation(SchedulerListener):
         def finished() -> None:
             self._operation_finished(transaction, attempt)
 
-        self.resources.perform_step(finished)
+        assert transaction.scheduler_tid is not None
+        self.router.perform_step(transaction.scheduler_tid, finished)
 
-    def _operation_finished(self, transaction: LogicalTransaction, attempt: int) -> None:
-        if (
+    def _attempt_is_stale(self, transaction: LogicalTransaction, attempt: int) -> bool:
+        """True when the attempt a delayed callback belonged to is gone.
+
+        The attempt was aborted while CPU/disk/network work was in flight —
+        either already restarted (attempts moved on) or with the restart
+        still queued (scheduler_tid cleared by on_aborted; site failures
+        abort active transactions mid-phase, which the centralized system
+        never did).
+        """
+        return (
             transaction.attempts != attempt
             or transaction.completed
             or transaction.scheduler_tid is None
-        ):
-            # The attempt this resource phase belonged to was aborted while
-            # the CPU/disk work was in flight — either already restarted
-            # (attempts moved on) or with the restart still queued
-            # (scheduler_tid cleared by on_aborted; site failures abort
-            # active transactions mid-phase, which the centralized system
-            # never did).
+        )
+
+    def _operation_finished(self, transaction: LogicalTransaction, attempt: int) -> None:
+        if self._attempt_is_stale(transaction, attempt):
             return
         transaction.steps_done += 1
         if transaction.steps_done < len(transaction.template):
             self._issue_next_operation(transaction)
+            return
+        # Commit fan-out: branches at sites other than the transaction's
+        # home pay the network cost before the commit lands (zero without a
+        # network model, in which case no event is scheduled at all).
+        delay = self.router.commit_network_delay(transaction.scheduler_tid)
+        if delay > 0:
+            self.engine.schedule(
+                delay, lambda: self._complete_after_fanout(transaction, attempt)
+            )
         else:
             self._complete(transaction)
+
+    def _complete_after_fanout(
+        self, transaction: LogicalTransaction, attempt: int
+    ) -> None:
+        if self._attempt_is_stale(transaction, attempt):
+            return
+        self._complete(transaction)
 
     # ------------------------------------------------------------------
     # Completion (pseudo-commit or commit)
@@ -286,7 +322,9 @@ class Simulation(SchedulerListener):
             return
         if self.completions >= self.params.warmup_completions:
             self._measuring = True
-            self.metrics.begin_measurement(self.engine.now, self.router.stats)
+            self.metrics.begin_measurement(
+                self.engine.now, self.router.stats, self.resources.utilisation_summary()
+            )
 
     # ------------------------------------------------------------------
     # SchedulerListener callbacks (never re-enter the scheduler directly)

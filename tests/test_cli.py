@@ -106,7 +106,9 @@ class TestSimulateCommand:
         assert payload["counters"]["completions"] == 60
         assert payload["params"]["seed"] == 4
         assert payload["sites"]["count"] == 1
-        assert set(payload) == {"params", "workload", "metrics", "counters", "sites"}
+        assert set(payload) == {
+            "params", "workload", "metrics", "counters", "resources", "sites"
+        }
         # Deterministic: the same invocation yields byte-identical JSON.
         _, again = run_cli(*argv)
         assert again == text
@@ -150,3 +152,84 @@ class TestSimulateCommand:
     def test_malformed_fail_at_is_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("simulate", "--sites", "2", "--fail-at", "oops")
+
+    @pytest.mark.parametrize("flag", ["--fail-at", "--recover-at"])
+    @pytest.mark.parametrize("entry", [
+        "oops",          # no TIME:SITE separator
+        "1.5",           # missing the site
+        "abc:1",         # unparsable time
+        "1.5:def",       # unparsable site
+        "1.5:1.5",       # fractional site
+        "-2:1",          # negative time
+        "1.5:2",         # site outside [0, sites)
+        "1.5:-1",        # negative site
+    ])
+    def test_bad_site_events_exit_with_argparse_error(self, capsys, flag, entry):
+        """Malformed TIME:SITE flags are a usage error, never a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("simulate", "--sites", "2", flag, entry)
+        assert excinfo.value.code == 2  # argparse usage-error exit code
+        captured = capsys.readouterr()
+        assert flag in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_parameter_combinations_exit_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("simulate", "--msg-time", "-0.5")
+        assert excinfo.value.code == 2
+        assert "msg_time" in capsys.readouterr().err
+
+    def test_per_site_resources_and_msg_time(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--sites", "2",
+            "--resource-units", "1",
+            "--resource-placement", "per_site",
+            "--msg-time", "0.001",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["params"]["resource_placement"] == "per_site"
+        assert payload["params"]["msg_time"] == 0.001
+        assert payload["resources"]["site0_cpu_served"] > 0
+        assert payload["resources"]["site1_cpu_served"] > 0
+        assert payload["resources"]["messages_sent"] > 0
+        assert payload["counters"]["resource_cpu_served"] > 0
+
+    def test_json_surfaces_the_utilisation_summary(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "6",
+            "--completions", "40",
+            "--resource-units", "1",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["resources"]["cpu_served"] > 0
+        assert payload["resources"]["disk_served"] > 0
+        assert payload["counters"]["resource_cpu_served"] == payload["resources"]["cpu_served"]
+
+    def test_json_reports_infinite_resources(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "6",
+            "--completions", "40",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["resources"] == {"resources": "infinite"}
+        assert "resource_cpu_served" not in payload["counters"]

@@ -1,0 +1,347 @@
+"""Unit tests for the resource layer: domains, chargers, network costs.
+
+Covers :class:`ResourceDomain` queueing and the single-disk shortcut, the
+:class:`GlobalResourceModel` facade (bit-compatible with the pre-refactor
+shared pool), :class:`PerSiteResources` fan-out charging with ``msg_time``
+network delays, commit fan-out delays, and the router's least-loaded
+read-one replica selection.
+"""
+
+import zlib
+
+import pytest
+
+from repro.adts.page import PageType
+from repro.core.errors import ReproError
+from repro.distributed import TransactionRouter
+from repro.sim.engine import EventEngine
+from repro.sim.params import SimulationParameters
+from repro.sim.random_source import RandomSource
+from repro.sim.resources import (
+    GlobalResourceModel,
+    PerSiteResources,
+    ResourceDomain,
+    ResourceModel,
+    make_resource_charger,
+)
+
+
+class CountingRandomSource(RandomSource):
+    """A RandomSource that counts its ``choice`` draws."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed)
+        self.choices = 0
+
+    def choice(self, items):
+        self.choices += 1
+        return super().choice(items)
+
+
+def finite_domain(engine, rng, *, num_cpus=1, num_disks=2, **overrides):
+    params = SimulationParameters(total_completions=1)
+    return ResourceDomain(
+        engine,
+        rng,
+        num_cpus=num_cpus,
+        num_disks=num_disks,
+        cpu_time=params.cpu_time,
+        io_time=params.io_time,
+        step_time=params.step_time,
+        **overrides,
+    )
+
+
+class TestResourceDomain:
+    def test_infinite_domain_takes_step_time(self):
+        engine = EventEngine()
+        domain = finite_domain(engine, RandomSource(1), num_cpus=0, num_disks=0)
+        done = []
+        domain.perform_step(lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.05)]
+        assert domain.infinite and domain.load == 0
+        assert domain.utilisation_summary() == {"resources": "infinite"}
+
+    def test_finite_domain_queues_on_the_cpu(self):
+        engine = EventEngine()
+        domain = finite_domain(engine, RandomSource(1), num_cpus=1)
+        done = []
+        domain.perform_step(lambda: done.append(engine.now))
+        domain.perform_step(lambda: done.append(engine.now))
+        assert domain.load == 2  # one in service, one queued
+        engine.run()
+        # The second step waits for the only CPU; both finish eventually.
+        assert len(done) == 2 and done[1] >= 0.015 + 0.035
+        summary = domain.utilisation_summary()
+        assert summary["cpu_served"] == 2 and summary["cpu_waits"] == 1
+        assert domain.load == 0
+
+    def test_single_disk_domain_skips_the_rng_draw(self):
+        engine = EventEngine()
+        rng = CountingRandomSource(1)
+        domain = finite_domain(engine, rng, num_cpus=1, num_disks=1)
+        done = []
+        domain.perform_step(lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.015 + 0.035)]
+        assert rng.choices == 0
+        assert domain.utilisation_summary()["disk_served"] == 1
+
+    def test_multi_disk_domain_still_draws(self):
+        engine = EventEngine()
+        rng = CountingRandomSource(1)
+        domain = finite_domain(engine, rng, num_cpus=1, num_disks=2)
+        domain.perform_step(lambda: None)
+        engine.run()
+        assert rng.choices == 1
+
+
+class TestGlobalResourceModel:
+    def test_keeps_the_unconditional_disk_draw(self):
+        # The shared pool's rng stream predates the single-disk shortcut:
+        # even a hypothetical one-disk pool must keep its draw order so the
+        # pinned sites=1 runs stay bit-identical.
+        engine = EventEngine()
+        rng = CountingRandomSource(1)
+        params = SimulationParameters(total_completions=1, resource_units=1)
+        model = GlobalResourceModel(engine, params, rng)
+        model.perform_step(lambda: None)
+        engine.run()
+        assert rng.choices == 1
+
+    def test_resource_model_alias_is_the_global_model(self):
+        assert ResourceModel is GlobalResourceModel
+
+    def test_charges_once_however_many_replicas_executed(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, resource_units=1)
+        model = GlobalResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_operation([0, 1, 2], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.015 + 0.035)]
+        assert model.utilisation_summary()["cpu_served"] == 1
+
+    def test_remote_work_pays_msg_time_when_modelled(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, msg_time=0.5)
+        model = GlobalResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_operation([1], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.5 + 0.05)]
+        assert model.messages_sent == 1
+        assert model.utilisation_summary()["messages_sent"] == 1
+
+    def test_local_work_pays_nothing(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, msg_time=0.5)
+        model = GlobalResourceModel(engine, params, RandomSource(1))
+        done = []
+        model.perform_operation([0], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.05)]
+        assert model.messages_sent == 0
+
+    def test_counts_one_message_per_remote_replica(self):
+        # Same accounting as the per-site charger: a write executing at
+        # several remote replicas sends one message each, even though the
+        # shared pool is charged only once.
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, msg_time=0.5)
+        model = GlobalResourceModel(engine, params, RandomSource(1))
+        model.perform_operation([0, 1, 2], 0, lambda: None)
+        engine.run()
+        assert model.messages_sent == 2
+
+    def test_attaching_leaves_sites_without_domains(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, resource_units=1,
+                                      site_count=2, replication="copies")
+        model = GlobalResourceModel(engine, params, RandomSource(1))
+        router = TransactionRouter(site_count=2, replication="copies")
+        page = PageType()
+        router.register_object("x", page, compatibility=page.compatibility())
+        router.attach_resources(model)
+        # Shared hardware carries no per-site load signal: no domains, and
+        # reads keep the pre-refactor hash-rotation choice.
+        assert all(site.domain is None for site in router.sites)
+        t = router.begin()
+        request = router.perform(t.gtid, "x", "read")
+        assert list(request.branch_handles) == [zlib.crc32(b"x") % 2]
+
+
+class TestPerSiteResources:
+    def make(self, sites=2, **overrides):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, site_count=sites,
+                                      replication="copies" if sites > 1 else "single",
+                                      resource_placement="per_site", **overrides)
+        return engine, PerSiteResources(engine, params, RandomSource(1), sites)
+
+    def test_each_site_owns_its_own_hardware(self):
+        engine, charger = self.make(sites=2, resource_units=1)
+        done = []
+        # Two local operations at different sites do not queue on each other.
+        charger.perform_operation([0], 0, lambda: done.append(engine.now))
+        charger.perform_operation([1], 1, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.05), pytest.approx(0.05)]
+        summary = charger.utilisation_summary()
+        assert summary["site0_cpu_served"] == 1 and summary["site1_cpu_served"] == 1
+        assert summary["cpu_served"] == 2  # aggregate over the sites
+
+    def test_write_fanout_charges_every_executing_site(self):
+        engine, charger = self.make(sites=2, resource_units=1)
+        done = []
+        charger.perform_operation([0, 1], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.05)]  # phases run in parallel
+        summary = charger.utilisation_summary()
+        assert summary["site0_cpu_served"] == 1 and summary["site1_cpu_served"] == 1
+
+    def test_remote_replica_pays_msg_time(self):
+        engine, charger = self.make(sites=2, resource_units=1, msg_time=0.5)
+        done = []
+        # Home is site 0: the branch at site 1 starts msg_time later, and
+        # the operation completes when the slowest replica does.
+        charger.perform_operation([0, 1], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.5 + 0.05)]
+        assert charger.messages_sent == 1
+        assert charger.remote_operations == 1
+        summary = charger.utilisation_summary()
+        assert summary["messages_sent"] == 1 and summary["remote_operations"] == 1
+
+    def test_zero_msg_time_means_no_network_events(self):
+        engine, charger = self.make(sites=2, resource_units=1)
+        charger.perform_operation([0, 1], 0, lambda: None)
+        engine.run()
+        assert charger.messages_sent == 0 and charger.remote_operations == 0
+
+    def test_commit_network_delay_counts_remote_branches(self):
+        engine, charger = self.make(sites=3, resource_units=1, msg_time=0.25)
+        assert charger.commit_network_delay([0], 0) == 0.0
+        assert charger.commit_network_delay([0, 1, 2], 0) == 0.25
+        assert charger.messages_sent == 2  # the two remote branches
+        _, charger_off = self.make(sites=3, resource_units=1)
+        assert charger_off.commit_network_delay([0, 1, 2], 0) == 0.0
+
+    def test_domain_loads_track_outstanding_work(self):
+        engine, charger = self.make(sites=2, resource_units=1)
+        charger.perform_operation([0], 0, lambda: None)
+        assert charger.domains[0].load == 1 and charger.domains[1].load == 0
+        engine.run()
+        assert charger.domains[0].load == 0
+
+    def test_infinite_per_site_domains(self):
+        engine, charger = self.make(sites=2)
+        done = []
+        charger.perform_operation([0, 1], 0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.05)]
+        summary = charger.utilisation_summary()
+        assert summary["resources"] == "infinite"
+        assert summary["messages_sent"] == 0
+
+
+class TestMakeResourceCharger:
+    def test_global_placement_builds_the_shared_model(self):
+        engine = EventEngine()
+        params = SimulationParameters(total_completions=1, resource_units=2)
+        charger = make_resource_charger(engine, params, RandomSource(1))
+        assert isinstance(charger, GlobalResourceModel)
+
+    def test_per_site_placement_builds_one_domain_per_site(self):
+        engine = EventEngine()
+        params = SimulationParameters(
+            total_completions=1, resource_units=2, site_count=3,
+            replication="copies", resource_placement="per_site",
+        )
+        charger = make_resource_charger(engine, params, RandomSource(1))
+        assert isinstance(charger, PerSiteResources)
+        assert len(charger.domains) == 3
+        assert all(domain.cpus.capacity == 2 for domain in charger.domains)
+        assert all(len(domain.disks) == 4 for domain in charger.domains)
+
+
+class TestRouterResourceIntegration:
+    def make_router(self, sites=2, **param_overrides):
+        engine = EventEngine()
+        params = SimulationParameters(
+            total_completions=1, site_count=sites,
+            replication="copies" if sites > 1 else "single",
+            resource_placement="per_site", **param_overrides,
+        )
+        router = TransactionRouter(site_count=sites,
+                                   replication=params.replication)
+        page = PageType()
+        router.register_object("x", page, compatibility=page.compatibility())
+        charger = PerSiteResources(engine, params, RandomSource(1), sites)
+        router.attach_resources(charger)
+        return engine, router, charger
+
+    def test_attach_wires_domains_onto_sites(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1)
+        assert [site.domain for site in router.sites] == charger.domains
+        assert router.sites[0].load == 0
+
+    def test_attach_rejects_domain_count_mismatch(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1)
+        with pytest.raises(ReproError):
+            router.attach_resources(
+                PerSiteResources(engine,
+                                 SimulationParameters(total_completions=1,
+                                                      site_count=3,
+                                                      replication="copies",
+                                                      resource_placement="per_site"),
+                                 RandomSource(1), 3)
+            )
+
+    def test_perform_step_without_charger_is_rejected(self):
+        router = TransactionRouter(site_count=1, replication="single")
+        page = PageType()
+        router.register_object("x", page, compatibility=page.compatibility())
+        t = router.begin()
+        router.perform(t.gtid, "x", "read")
+        with pytest.raises(ReproError):
+            router.perform_step(t.gtid, lambda: None)
+
+    def test_reads_prefer_the_least_loaded_replica(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1)
+        # Saturate the replica the hash rotation would pick first.
+        hash_target = zlib.crc32(b"x") % 2
+        other = 1 - hash_target
+        charger.domains[hash_target].perform_step(lambda: None)
+        charger.domains[hash_target].perform_step(lambda: None)
+        t = router.begin(home_site=0)
+        request = router.perform(t.gtid, "x", "read")
+        assert request.executed
+        assert list(request.branch_handles) == [other]
+
+    def test_reads_fall_back_to_hash_order_on_ties(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1)
+        t = router.begin(home_site=0)
+        request = router.perform(t.gtid, "x", "read")
+        assert list(request.branch_handles) == [zlib.crc32(b"x") % 2]
+
+    def test_begin_spreads_home_sites_round_robin(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1)
+        homes = [router.begin().home_site for _ in range(4)]
+        assert homes == [0, 1, 0, 1]
+        with pytest.raises(ReproError):
+            router.begin(home_site=7)
+
+    def test_resource_phase_routes_through_the_router(self):
+        engine, router, charger = self.make_router(sites=2, resource_units=1,
+                                                   msg_time=0.5)
+        t = router.begin(home_site=0)
+        request = router.perform(t.gtid, "x", "write", 9)
+        assert request.executed
+        done = []
+        router.perform_step(t.gtid, lambda: done.append(engine.now))
+        engine.run()
+        # Write-all: the remote replica's phase starts msg_time later.
+        assert done == [pytest.approx(0.5 + 0.015 + 0.035)]
+        assert router.commit_network_delay(t.gtid) == 0.5

@@ -61,6 +61,8 @@ PINNED = {
         dict(completions=150, commits=150, pseudo_commits=0, blocks=236,
              restarts=21, cycle_checks=257, aborts=21, abort_length_total=132,
              commit_dependency_edges=0, events_processed=3148,
+             resource_cpu_served=1402, resource_cpu_waits=545,
+             resource_disk_served=1396, resource_disk_waits=916,
              simulated_time=17.8856524443, response_time_total=1320.1088027193),
     ),
 }

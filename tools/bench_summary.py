@@ -16,9 +16,13 @@ Usage (from the repository root)::
 
 Counters recorded per point (summed over the point's runs): completions,
 commits, pseudo-commits, blocks, restarts, cycle checks, aborts, total abort
-length, commit-dependency edges, simulation-engine events, and the simulated
-time (a deterministic float).  Every value derives only from
-``(parameters, seed)``; nothing here measures the host machine.
+length, commit-dependency edges, simulation-engine events, the simulated
+time (a deterministic float), and — for finite-resource points — the
+``resource_*`` utilisation counters (CPU/disk served and waits, per site
+under per-site placement, plus network messages when a ``msg_time`` cost is
+modelled), so resource saturation is visible in the perf trajectory.  Every
+value derives only from ``(parameters, seed)``; nothing here measures the
+host machine.
 """
 
 from __future__ import annotations
