@@ -48,6 +48,11 @@ class AveragedMetrics:
     abort_length: float
     completions: float
     pseudo_commit_fraction: float
+    #: Raw deterministic counters summed over the point's runs (the
+    #: :meth:`~repro.sim.metrics.RunMetrics.counters` set, including the
+    #: ``resource_*`` and ``replication_*`` families), frozen as sorted
+    #: pairs; benchmark shape assertions read protocol overheads from here.
+    counters: Tuple[Tuple[str, float], ...] = ()
 
     @classmethod
     def from_runs(cls, metrics: Sequence[RunMetrics]) -> "AveragedMetrics":
@@ -59,7 +64,13 @@ class AveragedMetrics:
         def mean(values: Sequence[float]) -> float:
             return sum(values) / count
 
+        summed: Dict[str, float] = {}
+        for run in metrics:
+            for name, value in run.counters().items():
+                summed[name] = summed.get(name, 0) + value
+
         return cls(
+            counters=tuple(sorted(summed.items())),
             runs=count,
             throughput=mean([m.throughput for m in metrics]),
             response_time=mean([m.response_time for m in metrics]),
@@ -80,8 +91,15 @@ class AveragedMetrics:
         """Look a metric up by its report name."""
         try:
             return float(getattr(self, name))
-        except AttributeError:
+        except (AttributeError, TypeError):
             raise ExperimentError(f"unknown metric {name!r}") from None
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """One raw counter summed over the point's runs (0.0 if absent)."""
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return default
 
 
 @dataclass
@@ -137,6 +155,16 @@ class ExperimentResult:
 
     def variant_labels(self) -> List[str]:
         return [variant.label for variant in self.spec.variants]
+
+    def counter_total(self, variant_label: str, counter: str) -> float:
+        """One raw counter summed over every mpl level of a variant."""
+        try:
+            per_level = self.points[variant_label]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.spec.experiment_id}: unknown variant {variant_label!r}"
+            ) from None
+        return sum(point.counter(counter) for point in per_level.values())
 
     def improvement(
         self, better: str, baseline: str, metric: str = "throughput", mpl: Optional[int] = None

@@ -20,6 +20,12 @@ The CLI exposes the experiment harness without writing any Python:
     give each site its own hardware (one CPU + two disks here) and charge
     1 ms of network delay to work routed away from a transaction's home
     site, so replicated reads scale with the site count;
+``python -m repro simulate --sites 3 --replication-protocol quorum --quorum-r 2 --quorum-w 2``
+    keep the replicas consistent with version-numbered read/write quorums
+    (``R + W > N``) instead of available-copies; ``--replication-protocol
+    primary-copy`` funnels writes through an elected primary instead;
+``python -m repro simulate --sites 4 --resource-placement per_site --site-units 2,1,1,4``
+    heterogeneous hardware: per-site resource-unit counts;
 ``python -m repro simulate --json``
     emit the run's deterministic metrics and raw counters as JSON (for
     scripting and CI gating).
@@ -108,6 +114,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="object placement across sites (default: 'single' "
                                "with one site, 'copies' with several)")
+    simulate.add_argument("--replication-protocol",
+                          choices=["available-copies", "quorum", "primary-copy"],
+                          default="available-copies",
+                          help="how replicas are selected and recovered: "
+                               "available-copies (read-one/write-all, "
+                               "unreadable window after recovery), quorum "
+                               "(versioned R/W quorums with catch-up) or "
+                               "primary-copy (writes through an elected "
+                               "primary, catch-up)")
+    simulate.add_argument("--quorum-r", type=int, default=None, metavar="R",
+                          help="read quorum size for --replication-protocol "
+                               "quorum (default: a majority of the copies)")
+    simulate.add_argument("--quorum-w", type=int, default=None, metavar="W",
+                          help="write quorum size for --replication-protocol "
+                               "quorum (default: a majority of the copies)")
+    simulate.add_argument("--site-units", default=None, metavar="U0,U1,...",
+                          help="heterogeneous per-site hardware: one "
+                               "resource-unit count per site (comma-"
+                               "separated, requires --resource-placement "
+                               "per_site and one entry per --sites)")
     simulate.add_argument("--fail-at", action="append", default=[], metavar="TIME:SITE",
                           help="crash SITE at simulated TIME seconds (repeatable)")
     simulate.add_argument("--recover-at", action="append", default=[], metavar="TIME:SITE",
@@ -178,6 +204,26 @@ def _command_figure(figure_id: str, scale_name: str, output: Optional[pathlib.Pa
     return 0
 
 
+def _parse_site_units(text: Optional[str], site_count: int, error):
+    """Parse ``--site-units 2,1,1,4`` into a per-site tuple (or ``None``).
+
+    Malformed entries and length mismatches exit with a usage message: a
+    silently truncated or padded hardware list would misattribute every
+    per-site measurement after it.
+    """
+    if text is None:
+        return None
+    try:
+        units = tuple(int(entry) for entry in text.split(","))
+    except ValueError:
+        error(f"--site-units expects comma-separated integers (e.g. 2,1,1,4), "
+              f"got {text!r}")
+    if len(units) != site_count:
+        error(f"--site-units lists {len(units)} sites but --sites is "
+              f"{site_count}; give exactly one unit count per site")
+    return units
+
+
 def _command_simulate(arguments, out, error) -> int:
     replication = arguments.replication
     if replication is None:
@@ -198,6 +244,12 @@ def _command_simulate(arguments, out, error) -> int:
             seed=arguments.seed,
             site_count=arguments.sites,
             replication=replication,
+            replication_protocol=arguments.replication_protocol,
+            quorum_read=arguments.quorum_r,
+            quorum_write=arguments.quorum_w,
+            site_units=_parse_site_units(
+                arguments.site_units, arguments.sites, error
+            ),
             failure_schedule=_parse_site_events(
                 arguments.fail_at, arguments.recover_at, arguments.sites, error
             ),
@@ -217,11 +269,20 @@ def _command_simulate(arguments, out, error) -> int:
             "sites": {
                 "count": params.site_count,
                 "replication": params.replication,
+                "replication_protocol": params.replication_protocol,
+                # Echo the scripted crash/recover schedule so a JSON run is
+                # fully self-describing (the schedule shapes every counter
+                # below; re-running without it would not reproduce them).
+                "failure_schedule": [list(event) for event in params.failure_schedule],
                 "failures": router_stats.site_failures,
                 "recoveries": router_stats.site_recoveries,
                 "site_failure_aborts": router_stats.site_failure_aborts,
                 "unavailable_aborts": router_stats.unavailable_aborts,
+                "read_unavailable_aborts": router_stats.read_unavailable_aborts,
+                "write_unavailable_aborts": router_stats.write_unavailable_aborts,
                 "cross_site_deadlock_aborts": router_stats.cross_site_deadlock_aborts,
+                "cycle_sweeps": router_stats.cycle_sweeps,
+                "replication_counters": simulation.router.replication_summary(),
             },
         }
         out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

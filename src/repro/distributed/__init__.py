@@ -5,11 +5,15 @@ style of the classical replicated-data exercises (and of the paper's outlook
 section): a :class:`TransactionRouter` owning global transaction ids routes
 operations over per-site :class:`Site` units (each wrapping its own
 :class:`~repro.core.scheduler.Scheduler` and concurrency-control backend)
-according to a pluggable :class:`PlacementPolicy`, with available-copies
-replication — read-one / write-all-available — and scripted site failure and
-recovery.
+according to a pluggable :class:`PlacementPolicy`, with a pluggable
+:class:`ReplicationProtocol` deciding replica selection, failure
+consequences and recovery semantics — available-copies (read-one /
+write-all-available), version-numbered quorum consensus, or primary-copy
+with deterministic failover — plus scripted site failure and recovery with
+catch-up.
 
-See :mod:`repro.distributed.router` for the protocol details.
+See :mod:`repro.distributed.router` and :mod:`repro.distributed.replication`
+for the protocol details.
 """
 
 from .placement import (
@@ -18,6 +22,14 @@ from .placement import (
     ReplicatedPlacement,
     SingleSitePlacement,
     make_placement,
+)
+from .replication import (
+    AvailableCopies,
+    PrimaryCopy,
+    QuorumConsensus,
+    ReplicationProtocol,
+    ReplicationStatistics,
+    make_replication_protocol,
 )
 from .router import (
     BranchRef,
@@ -29,16 +41,22 @@ from .router import (
 from .site import Site, SiteStatus
 
 __all__ = [
+    "AvailableCopies",
     "BranchRef",
     "GlobalRequest",
     "GlobalTransaction",
     "HashShardedPlacement",
     "PlacementPolicy",
+    "PrimaryCopy",
+    "QuorumConsensus",
     "ReplicatedPlacement",
+    "ReplicationProtocol",
+    "ReplicationStatistics",
     "RouterStatistics",
     "SingleSitePlacement",
     "Site",
     "SiteStatus",
     "TransactionRouter",
     "make_placement",
+    "make_replication_protocol",
 ]

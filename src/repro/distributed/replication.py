@@ -1,0 +1,650 @@
+"""Pluggable replication protocols for the transaction router.
+
+The :class:`~repro.distributed.router.TransactionRouter` owns the machinery
+every replicated execution needs — global transaction ids, lazy per-site
+branches, fan-out bookkeeping, the failure-abort rules, statistics and
+listeners — and delegates the replica-placement *decisions* to a
+:class:`ReplicationProtocol`:
+
+``select_read`` / ``select_write``
+    which replica copies an operation executes at (empty = unavailable);
+``on_branch_committed``
+    what a durable local commit means for the copy (available-copies
+    readability, quorum version bumps);
+``on_site_failed`` / ``on_site_recovered``
+    protocol consequences of the site lifecycle (primary failover election,
+    catch-up recovery from a live replica).
+
+Three protocols are provided:
+
+* :class:`AvailableCopies` — the extracted baseline: read-one over the
+  readable copies (stable-hash rotation, least-loaded tie-break),
+  write-all-available, and the recovering-copy rule — a recovered replicated
+  copy stays unreadable until a transaction that wrote it there durably
+  commits.  Its decision stream is bit-identical to the pre-refactor router.
+* :class:`QuorumConsensus` — version-numbered read/write quorums with
+  ``R + W > N`` and ``2W > N``: reads contact ``R`` readable copies and
+  serve the highest version, writes land at ``W`` live copies and bump
+  their versions at durable commit.  Recovery catch-up copies committed state from the
+  freshest live replica, so reads survive minority failures without the
+  available-copies unreadable window.
+* :class:`PrimaryCopy` — writes funnel through a per-placement primary
+  (propagated eagerly to every live backup), reads are served by any live
+  replica, and a primary crash triggers a deterministic failover election
+  (lowest live site id).  Recovery catch-up copies committed state from the
+  freshest live replica, so recovered replicas serve reads immediately.
+
+Both catch-up protocols share per-copy version bookkeeping
+(:class:`_VersionedCatchUp`): recovery copies only from strictly fresher
+peers, and a recovered copy becomes readable only once its version has
+reached the object's highest reported-committed version — a copy left
+behind a reported commit (its crash dropped a pseudo-committed branch
+before the durable stamp landed) keeps the unreadable window as a safety
+net instead of serving stale data.
+
+Protocol overheads are counted in :class:`ReplicationStatistics` (messages,
+failovers, catch-up events) and surface as ``replication_*`` counters in
+:meth:`repro.sim.metrics.RunMetrics.counters`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ReproError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .router import GlobalRequest, GlobalTransaction, TransactionRouter
+    from .site import Site
+
+__all__ = [
+    "ReplicationStatistics",
+    "ReplicationProtocol",
+    "AvailableCopies",
+    "QuorumConsensus",
+    "PrimaryCopy",
+    "make_replication_protocol",
+]
+
+
+@dataclass
+class ReplicationStatistics:
+    """Protocol-level overhead counters (deterministic ints).
+
+    ``messages`` models replica-coordination traffic: one message per extra
+    replica contacted by a read or write fan-out, per branch of a commit
+    fan-out, per object copied during catch-up, and per peer notified of a
+    failover election.  It is protocol accounting, independent of whether a
+    ``msg_time`` network cost is simulated.
+    """
+
+    messages: int = 0
+    failovers: int = 0
+    catchups: int = 0
+    catchup_objects: int = 0
+
+
+class ReplicationProtocol:
+    """Replica-set selection and lifecycle rules for one router.
+
+    A protocol instance is attached to exactly one router (it may keep
+    per-run state — quorum versions, the elected primaries) and answers the
+    questions the router fans out on.  The shared default implementations
+    are the available-copies rules; subclasses override what differs.
+    """
+
+    #: Short name used in parameters and reports.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.router: "TransactionRouter" = None  # type: ignore[assignment]
+        self.stats = ReplicationStatistics()
+
+    def attach(self, router: "TransactionRouter") -> None:
+        """Bind the protocol to its router (called once, at construction)."""
+        if self.router is not None:
+            raise ReproError(
+                f"replication protocol {self.name!r} is already attached; "
+                "protocols hold per-run state and must not be shared"
+            )
+        self.router = router
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rotated(object_name: str, placed: Sequence[int]) -> List[int]:
+        """The placement rotated by a stable hash of the object name.
+
+        Each object gets a deterministic home replica so load spreads over
+        the copies without a random draw (CRC32: identical across processes
+        and interpreter versions).
+        """
+        offset = zlib.crc32(object_name.encode("utf-8")) % len(placed)
+        return list(placed[offset:]) + list(placed[:offset])
+
+    def _readable_candidates(self, object_name: str, placed: Sequence[int]) -> List[int]:
+        sites = self.router.sites
+        return [
+            sid
+            for sid in self._rotated(object_name, placed)
+            if sites[sid].readable(object_name)
+        ]
+
+    def _least_loaded(self, candidates: List[int]) -> int:
+        """Pick a read replica from candidates in hash-rotation order.
+
+        Without per-site hardware (no domains attached) the first candidate
+        wins — the pre-refactor behaviour.  With site-owned domains the
+        least-loaded candidate wins, earlier rotation position breaking ties
+        deterministically.
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        domains = [self.router.sites[sid].domain for sid in candidates]
+        if any(domain is None for domain in domains):
+            return candidates[0]
+        best = min(
+            range(len(candidates)), key=lambda index: (domains[index].load, index)
+        )
+        return candidates[best]
+
+    # ------------------------------------------------------------------
+    # Replica-set selection
+    # ------------------------------------------------------------------
+    def select_read(
+        self, object_name: str, placed: Sequence[int], request: "GlobalRequest"
+    ) -> List[int]:
+        """Sites a read executes at (empty: no copy can serve it now)."""
+        candidates = self._readable_candidates(object_name, placed)
+        if not candidates:
+            return []
+        return [self._least_loaded(candidates)]
+
+    def select_write(
+        self,
+        object_name: str,
+        placed: Sequence[int],
+        transaction: Optional["GlobalTransaction"] = None,
+    ) -> List[int]:
+        """Sites a write executes at (empty: unavailable).
+
+        Available-copies: every live copy, in placement order — a recovering
+        (unreadable) copy accepts writes, which is what refreshes it.
+        ``transaction`` lets a protocol keep a transaction's repeat writes
+        of one object on a consistent replica set (quorum consensus does).
+        """
+        sites = self.router.sites
+        targets = [sid for sid in placed if sites[sid].writable(object_name)]
+        self.stats.messages += max(0, len(targets) - 1)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_branch_committed(self, site: "Site", transaction: "GlobalTransaction") -> None:
+        """A branch durably committed at ``site``.
+
+        Available-copies recovery rule: a durably committed write refreshes
+        the local copy, making it readable again — but only for objects
+        whose write actually landed at *this* site (a write issued while
+        the site was down never reached its copy).
+        """
+        if site.unreadable:
+            for name in transaction.written_at.get(site.site_id, ()):
+                site.mark_readable(name)
+
+    def on_commit_fanout(self, branch_sites: Sequence[int]) -> None:
+        """Count the commit fan-out messages to a transaction's branches."""
+        self.stats.messages += max(0, len(branch_sites) - 1)
+
+    def on_site_failed(self, site_id: int) -> None:
+        """A site crashed (called after its scheduler state is discarded)."""
+
+    def on_site_recovered(self, site: "Site") -> None:
+        """A site came back up (called after its scheduler is rebuilt).
+
+        Available-copies performs no catch-up: the recovered copies stay
+        unreadable until a committed write lands, the protocol's structural
+        availability cost.
+        """
+
+    def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
+        """A global transaction reached a terminal state (commit or abort)."""
+
+    # ------------------------------------------------------------------
+    # Catch-up recovery (shared by quorum and primary-copy)
+    # ------------------------------------------------------------------
+    def _catchup_source(self, site: "Site", object_name: str) -> Optional[int]:
+        """The live replica a recovered copy catches up from (None: nobody)."""
+        raise NotImplementedError
+
+    def _catch_up(self, site: "Site") -> None:
+        """Copy committed state from live replicas onto the recovered site.
+
+        Only objects awaiting a refresh (``site.unreadable``) are copied,
+        and only *committed* state moves — uncommitted work at the crashed
+        site died with its volatile scheduler, and uncommitted work at the
+        source is not part of its committed snapshot.
+        """
+        copied = 0
+        for name in sorted(site.unreadable):
+            if site.has_uncommitted(name):
+                # In-flight work on the copy (writes are accepted on
+                # unreadable copies): overwriting now would be unsafe, and
+                # the write's own durable commit refreshes the copy anyway.
+                continue
+            source_id = self._catchup_source(site, name)
+            if source_id is None:
+                continue
+            source = self.router.sites[source_id]
+            state = source.committed_snapshot([name]).get(name)
+            site.install_committed(name, state)
+            self._on_caught_up(site, source_id, name)
+            copied += 1
+        if copied:
+            self.stats.catchups += 1
+            self.stats.catchup_objects += copied
+            self.stats.messages += copied
+
+    def _on_caught_up(self, site: "Site", source_id: int, object_name: str) -> None:
+        """Per-object hook after a catch-up copy (quorum syncs versions)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class AvailableCopies(ReplicationProtocol):
+    """Read-one / write-all-available with the recovering-copy rule.
+
+    This is the baseline extracted from the pre-protocol router; every
+    decision — replica rotation, least-loaded read selection, write
+    fan-out order, readability after recovery — is unchanged, which keeps
+    the pinned multi-site and ``sites=1`` streams bit-identical.
+    """
+
+    name = "available-copies"
+
+
+class _VersionedCatchUp(ReplicationProtocol):
+    """Shared version bookkeeping for the catch-up protocols.
+
+    Quorum consensus and primary-copy both need to know how fresh each
+    copy's durable state is: every durable branch commit stamps the copies
+    the write landed at with one new per-object version.  Recovery then has
+    an authoritative rule — catch up from a strictly fresher readable peer,
+    and mark a copy readable only when its version has reached the highest
+    *stamped* version of the object.  A copy that is behind a stamped
+    commit (its own pseudo-committed branch was dropped by the crash before
+    the stamp landed) stays unreadable — the available-copies window as a
+    safety net — rather than serving a stale value for a transaction the
+    caller was told committed.
+
+    Because write quorums intersect (``2W > N``) and a transaction's repeat
+    writes stick to one W-set, every reported commit leaves at least one
+    durably stamped copy even through crash cascades (a branch either
+    drained durably before its site died, or the site failure's abort
+    cascade drains a surviving sibling).  A commit can still end up
+    *under-replicated* — fewer than W stamped copies — in which case the
+    affected object trades availability, never consistency: reads go
+    unavailable until a stamped copy is back to catch peers up.  See the
+    ROADMAP's "Quorum commit re-replication" item for the 2PC-style fix that
+    would restore full W-replication.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Version of the copy at ``(site_id, object name)`` (missing: 0).
+        self._version: Dict[Tuple[int, str], int] = {}
+        #: Highest committed version per object (the next write goes above).
+        self._latest: Dict[str, int] = {}
+        #: Version assigned to an in-flight commit, per (gtid, object name):
+        #: branches drain at different times but must stamp the same version.
+        self._commit_targets: Dict[Tuple[int, str], int] = {}
+
+    def version_of(self, site_id: int, object_name: str) -> int:
+        """The committed version of one copy (0 until its first write)."""
+        return self._version.get((site_id, object_name), 0)
+
+    def on_branch_committed(self, site: "Site", transaction: "GlobalTransaction") -> None:
+        super().on_branch_committed(site, transaction)
+        for name in transaction.written_at.get(site.site_id, ()):
+            key = (transaction.gtid, name)
+            target = self._commit_targets.get(key)
+            if target is None:
+                target = self._latest.get(name, 0) + 1
+                self._latest[name] = target
+                self._commit_targets[key] = target
+            self._version[(site.site_id, name)] = target
+
+    def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
+        written: Set[str] = set()
+        for names in transaction.written_at.values():
+            written.update(names)
+            for name in names:
+                self._commit_targets.pop((transaction.gtid, name), None)
+        # The finished transaction may have been the in-flight write that
+        # deferred a recovered copy's readability (see _refresh_copies):
+        # retry those copies now that the write either stamped fresher
+        # peers to catch up from or was aborted.
+        if written:
+            for site in self.router.sites:
+                if site.status.is_up and site.unreadable & written:
+                    self._refresh_copies(site)
+
+    def on_site_recovered(self, site: "Site") -> None:
+        self._refresh_copies(site)
+        # This recovery may be exactly the fresher source a PEER's stranded
+        # copies were waiting for (it recovered earlier, when no live site
+        # could teach it): retry catch-up at every other live site that
+        # still has unreadable copies, or they would stay unreadable until
+        # a write happens to land on them.
+        for other in self.router.sites:
+            if other is not site and other.status.is_up and other.unreadable:
+                self._refresh_copies(other)
+
+    def _refresh_copies(self, site: "Site") -> None:
+        self._catch_up(site)
+        # Copies no live peer can improve keep their own durable state —
+        # but only a copy whose version has caught the object's highest
+        # committed version may serve reads.  A copy behind a reported
+        # commit (crash dropped its pseudo-committed branch before the
+        # stamp landed) stays unreadable until a fresher peer or a new
+        # committed write refreshes it.  A copy with an in-flight peer
+        # write it missed (issued while this site was down — committed
+        # versions cannot see it yet) also defers: it is refreshed when
+        # that transaction finishes.
+        for name in sorted(site.unreadable):
+            if self.version_of(site.site_id, name) < self._latest.get(name, 0):
+                continue
+            if self._missed_inflight_write(site, name):
+                continue
+            site.mark_readable(name)
+
+    def _missed_inflight_write(self, site: "Site", object_name: str) -> bool:
+        """True when a live peer holds an uncommitted write this copy missed.
+
+        Such a write was necessarily issued while this site was down (a
+        write that reached the site died with its volatile state, aborting
+        the writer), so when it commits this copy will be behind the new
+        version without the version bookkeeping showing it yet.
+        """
+        for sid in self.router.placement.sites_for(object_name):
+            if sid == site.site_id:
+                continue
+            other = self.router.sites[sid]
+            if not other.status.is_up or not other.has_uncommitted(object_name):
+                continue
+            for event in other.scheduler.object(object_name).uncommitted:
+                if not self.router._is_read_only(object_name, event.invocation):
+                    return True
+        return False
+
+    def _catchup_source(self, site: "Site", object_name: str) -> Optional[int]:
+        """The freshest live copy — only if fresher than the recovering one.
+
+        Highest version wins, lowest site id ties; a peer at or below the
+        recovering copy's own (durable, crash-surviving) version has nothing
+        to teach it and must never overwrite it.
+        """
+        best: Optional[int] = None
+        best_version = self.version_of(site.site_id, object_name)
+        for sid in self.router.placement.sites_for(object_name):
+            if sid == site.site_id:
+                continue
+            other = self.router.sites[sid]
+            if not other.readable(object_name):
+                continue
+            version = self.version_of(sid, object_name)
+            if version > best_version:
+                best, best_version = sid, version
+        return best
+
+    def _on_caught_up(self, site: "Site", source_id: int, object_name: str) -> None:
+        self._version[(site.site_id, object_name)] = self.version_of(
+            source_id, object_name
+        )
+
+
+class QuorumConsensus(_VersionedCatchUp):
+    """Version-numbered read/write quorums (``R + W > N``, ``2W > N``).
+
+    Reads contact ``R`` readable copies and serve the highest-version one;
+    writes land at ``W`` live copies, all stamped with the same new version
+    at durable commit.  Because any read quorum intersects any write
+    quorum, a stale copy can participate in reads immediately — recovery
+    needs no unreadable window, only the catch-up that makes the copy a
+    useful quorum member again.  ``read_quorum``/``write_quorum`` default
+    to majorities of each object's copy count.
+    """
+
+    name = "quorum"
+
+    def __init__(
+        self,
+        read_quorum: Optional[int] = None,
+        write_quorum: Optional[int] = None,
+    ):
+        super().__init__()
+        self.read_quorum = read_quorum
+        self.write_quorum = write_quorum
+
+    def _quorums(self, object_name: str, placed: Sequence[int]) -> Tuple[int, int]:
+        """Effective (R, W) for one object — rejected, never clamped.
+
+        Explicit sizes outside ``[1, N]`` raise instead of being silently
+        rewritten, so direct router users get exactly the same validation
+        as :meth:`SimulationParameters.validate`; ``None`` defaults to a
+        majority of the object's copy count.
+        """
+        n = len(placed)
+        majority = n // 2 + 1
+        r = self.read_quorum if self.read_quorum is not None else majority
+        w = self.write_quorum if self.write_quorum is not None else majority
+        if not 1 <= r <= n or not 1 <= w <= n:
+            raise SimulationError(
+                f"quorum R={r}/W={w} must lie in [1, {n}] for {object_name!r} "
+                f"({n} copies)"
+            )
+        if r + w <= n:
+            raise SimulationError(
+                f"quorum R={r} + W={w} must exceed the copy count N={n} "
+                f"of {object_name!r}"
+            )
+        if 2 * w <= n:
+            # Write quorums must intersect each other too, or two
+            # concurrent writers can land on disjoint copies with no
+            # scheduler seeing both — an unserialized lost update.
+            raise SimulationError(
+                f"write quorum W={w} must exceed half the copy count N={n} "
+                f"of {object_name!r} (write quorums must intersect)"
+            )
+        return r, w
+
+    # ------------------------------------------------------------------
+    def select_read(
+        self, object_name: str, placed: Sequence[int], request: "GlobalRequest"
+    ) -> List[int]:
+        r, _ = self._quorums(object_name, placed)
+        candidates = self._readable_candidates(object_name, placed)
+        # Read-your-writes: copies holding the reading transaction's own
+        # uncommitted writes go first, so the quorum is guaranteed to
+        # contain one (committed versions cannot rank a pending write).
+        own = self._own_write_sites(request.transaction_id, object_name)
+        if own:
+            candidates = [sid for sid in candidates if sid in own] + [
+                sid for sid in candidates if sid not in own
+            ]
+        if len(candidates) < r:
+            return []
+        selected = candidates[:r]
+        # Serve the value from the member that sees the transaction's own
+        # writes, then from the freshest committed version (earlier
+        # rotation position breaks ties deterministically).
+        best = min(
+            range(len(selected)),
+            key=lambda index: (
+                selected[index] not in own,
+                -self.version_of(selected[index], object_name),
+                index,
+            ),
+        )
+        request.value_site = selected[best]
+        self.stats.messages += r - 1
+        return selected
+
+    def _own_write_sites(self, transaction_id: int, object_name: str) -> Set[int]:
+        """Sites where this transaction's own writes of the object landed."""
+        transaction = self.router.transactions.get(transaction_id)
+        if transaction is None:
+            return set()
+        return {
+            site_id
+            for site_id, names in transaction.written_at.items()
+            if object_name in names
+        }
+
+    def select_write(
+        self,
+        object_name: str,
+        placed: Sequence[int],
+        transaction: Optional["GlobalTransaction"] = None,
+    ) -> List[int]:
+        _, w = self._quorums(object_name, placed)
+        if transaction is not None:
+            # Sticky W-set: a repeat write of the same object must land on
+            # the same copies as the transaction's earlier ones (they are
+            # necessarily still alive — a site failure aborts its writers).
+            # Re-selecting from current liveness could route the new write
+            # past a copy the commit will nonetheless stamp as fresh,
+            # breaking "version equality implies state equality".
+            prior = self._own_write_sites(transaction.gtid, object_name)
+            if prior:
+                targets = [
+                    sid
+                    for sid in self._rotated(object_name, placed)
+                    if sid in prior
+                ]
+                self.stats.messages += len(targets) - 1
+                return targets
+        sites = self.router.sites
+        candidates = [
+            sid
+            for sid in self._rotated(object_name, placed)
+            if sites[sid].writable(object_name)
+        ]
+        if len(candidates) < w:
+            return []
+        self.stats.messages += w - 1
+        return candidates[:w]
+
+
+class PrimaryCopy(_VersionedCatchUp):
+    """Writes funnel through a primary, reads come from any live replica.
+
+    Each placement (set of sites holding an object) has one primary at a
+    time, elected lazily as the lowest live site id and re-elected — the
+    *failover* — the moment a sitting primary crashes.  Writes execute at
+    the primary first and propagate eagerly to every live backup, so any
+    live replica can serve reads; recovery catch-up copies committed state
+    from the freshest live replica, and a recovered copy whose own durable
+    state already matches the highest committed version (no writes landed
+    while it was down) is readable immediately even with no live peer.
+    """
+
+    name = "primary-copy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Placement tuple -> currently elected primary site id.
+        self._primaries: Dict[Tuple[int, ...], int] = {}
+
+    def primary_of(self, object_name: str) -> Optional[int]:
+        """The current primary for an object (electing one if needed)."""
+        placed = tuple(self.router.placement.sites_for(object_name))
+        live = [sid for sid in placed if self.router.sites[sid].status.is_up]
+        return self._primary_for(placed, live)
+
+    def _primary_for(
+        self, placed: Tuple[int, ...], live: Sequence[int]
+    ) -> Optional[int]:
+        current = self._primaries.get(placed)
+        if current is not None and self.router.sites[current].status.is_up:
+            return current
+        if not live:
+            self._primaries.pop(placed, None)
+            return None
+        # Initial (or post-outage) election; not counted as a failover —
+        # those are re-elections forced by a sitting primary's crash.
+        elected = min(live)
+        self._primaries[placed] = elected
+        return elected
+
+    # ------------------------------------------------------------------
+    def select_write(
+        self,
+        object_name: str,
+        placed: Sequence[int],
+        transaction: Optional["GlobalTransaction"] = None,
+    ) -> List[int]:
+        sites = self.router.sites
+        live = [sid for sid in placed if sites[sid].writable(object_name)]
+        if not live:
+            return []
+        primary = self._primary_for(tuple(placed), live)
+        if primary is None or not sites[primary].writable(object_name):
+            return []
+        # The primary orders the write, then propagates to every live backup.
+        targets = [primary] + [sid for sid in live if sid != primary]
+        self.stats.messages += len(targets) - 1
+        return targets
+
+    def on_site_failed(self, site_id: int) -> None:
+        """Deterministic failover: re-elect where the dead site was primary."""
+        for placed, primary in list(self._primaries.items()):
+            if primary != site_id:
+                continue
+            live = [sid for sid in placed if self.router.sites[sid].status.is_up]
+            if live:
+                self._primaries[placed] = min(live)
+                self.stats.failovers += 1
+                self.stats.messages += max(0, len(live) - 1)
+            else:
+                del self._primaries[placed]
+
+
+_PROTOCOLS = {
+    protocol.name: protocol
+    for protocol in (AvailableCopies, QuorumConsensus, PrimaryCopy)
+}
+
+
+def make_replication_protocol(
+    kind: str,
+    read_quorum: Optional[int] = None,
+    write_quorum: Optional[int] = None,
+) -> ReplicationProtocol:
+    """Construct the replication protocol named by ``kind``.
+
+    ``kind`` is one of ``"available-copies"``, ``"quorum"`` or
+    ``"primary-copy"`` (the value of the ``replication_protocol`` simulation
+    parameter and of the CLI's ``--replication-protocol`` flag); the quorum
+    sizes only apply to — and are only accepted for — the quorum protocol.
+    """
+    try:
+        protocol = _PROTOCOLS[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown replication protocol {kind!r} "
+            f"(expected one of {sorted(_PROTOCOLS)})"
+        ) from None
+    if protocol is QuorumConsensus:
+        return QuorumConsensus(read_quorum=read_quorum, write_quorum=write_quorum)
+    if read_quorum is not None or write_quorum is not None:
+        raise SimulationError(
+            f"read/write quorum sizes only apply to the 'quorum' protocol, "
+            f"not {kind!r}"
+        )
+    return protocol()

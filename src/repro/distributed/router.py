@@ -4,18 +4,24 @@ The :class:`TransactionRouter` is the multi-site counterpart of
 :class:`~repro.core.scheduler.Scheduler`: it owns *global* transaction ids and
 fans operations out to the per-site schedulers that the
 :class:`~repro.distributed.placement.PlacementPolicy` says hold a copy of the
-target object, with available-copies replication semantics:
+target object.  *Which* copies an operation executes at — and what failure
+and recovery mean for a copy — is decided by a pluggable
+:class:`~repro.distributed.replication.ReplicationProtocol`:
 
-* **read-one** — a read-only operation executes at the first live site whose
-  copy is readable;
-* **write-all-available** — any other operation executes at *every* live copy
-  (a recovering copy accepts writes; that is what makes it readable again);
-* **failure** — when a site fails, its scheduler state is lost and every
-  global transaction that *wrote* to the site (or whose in-flight operation is
-  blocked there) aborts; completed transactions survive, and a pseudo-committed
-  branch lost with the site is simply dropped from the commit-outstanding set;
-* **recovery** — a recovered site marks its replicated copies unreadable
-  until a transaction that wrote the object there durably commits.
+* :class:`~repro.distributed.replication.AvailableCopies` (the default) —
+  read-one / write-all-available with the recovering-copy rule (a recovered
+  replicated copy is unreadable until a committed write refreshes it);
+* :class:`~repro.distributed.replication.QuorumConsensus` — version-numbered
+  read/write quorums with ``R + W > N`` and catch-up recovery;
+* :class:`~repro.distributed.replication.PrimaryCopy` — writes funnel
+  through an elected primary, reads come from any live replica, with
+  deterministic failover and catch-up recovery.
+
+The router keeps the protocol-independent rules: when a site fails, its
+scheduler state is lost and every global transaction that *wrote* to the site
+(or whose in-flight operation is blocked there) aborts; completed
+transactions survive, and a pseudo-committed branch lost with the site is
+dropped from the commit-outstanding set.
 
 A global transaction lazily opens one *branch* (a local transaction) per site
 it touches.  Branch-level protocol decisions stay with the per-site backends —
@@ -26,12 +32,15 @@ transaction everywhere; a global commit is durable once every branch durably
 committed (branches may pseudo-commit locally and drain at different times).
 
 Cross-site cycles (deadlocks or commit-dependency cycles spanning sites,
-which no single site's graph can see) are caught by a router-level check on
-the union of the per-site dependency graphs after each fan-out; the requester
-is the victim, matching the per-site victim rule.  The check only covers
-cycles closed by the operation being submitted — cycles closed by a queued
-request granted during another transaction's termination are not yet
-detected (see ROADMAP).
+which no single site's graph can see) are caught two ways: a router-level
+check on the union of the per-site dependency graphs after each fan-out (the
+requester is the victim, matching the per-site victim rule), and
+:meth:`TransactionRouter.sweep_global_cycles` — run periodically from an
+engine event by the simulator — which catches cycles closed *outside* a
+submit, e.g. by a queued request granted during another transaction's
+termination cascade (the grant can add commit-dependency edges no submit
+ever carried).  Both are gated on the per-site graphs' mutation counters so
+conflict-free stretches cost nothing.
 
 With ``site_count=1`` the router is a pass-through: one site, one branch per
 transaction, no replication fan-out and no cross-site checks, reproducing the
@@ -40,7 +49,6 @@ centralized scheduler's decision stream bit for bit.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -57,6 +65,7 @@ from ..core.scheduler import SchedulerListener, SchedulerStatistics
 from ..core.specification import Event, Invocation, TypeSpecification
 from ..core.transaction import TransactionStatus
 from .placement import PlacementPolicy, make_placement
+from .replication import ReplicationProtocol, make_replication_protocol
 from .site import Site, _fold_stats
 
 __all__ = [
@@ -93,6 +102,10 @@ class GlobalRequest:
     #: Set by the router when the global transaction aborts mid-request.
     failed: bool = False
     abort_reason: Optional[AbortReason] = None
+    #: Site whose copy serves :attr:`value`, chosen by the replication
+    #: protocol (quorum reads serve the highest-version quorum member);
+    #: ``None`` falls back to the first executed branch.
+    value_site: Optional[int] = None
 
     @property
     def executed(self) -> bool:
@@ -125,7 +138,15 @@ class GlobalRequest:
 
     @property
     def value(self) -> Any:
-        """The operation's return value (from the first executed branch)."""
+        """The operation's return value.
+
+        The replication protocol may designate the copy the value comes from
+        (:attr:`value_site`); otherwise the first executed branch serves it.
+        """
+        if self.value_site is not None:
+            handle = self.branch_handles.get(self.value_site)
+            if handle is not None and handle.executed:
+                return handle.value
         for handle in self.branch_handles.values():
             if handle.executed:
                 return handle.value
@@ -178,9 +199,16 @@ class RouterStatistics:
     pseudo_commits: int = 0
     aborts: int = 0
     unavailable_aborts: int = 0
+    #: Unavailability split by operation class: the replication protocols
+    #: trade these off (available-copies loses reads to the unreadable
+    #: window, quorums lose writes below ``W`` live copies).
+    read_unavailable_aborts: int = 0
+    write_unavailable_aborts: int = 0
     site_failure_aborts: int = 0
     cross_site_deadlock_aborts: int = 0
     cross_site_cycle_checks: int = 0
+    #: Periodic union-graph sweeps that actually ran (mutation-gated).
+    cycle_sweeps: int = 0
     site_failures: int = 0
     site_recoveries: int = 0
 
@@ -209,7 +237,11 @@ class TransactionRouter:
     concepts coincide (``policy``, ``fair``, ``retain_terminated``) and adds
     the multi-site knobs: ``site_count``, ``replication`` (a placement kind —
     ``"single"``, ``"hash"`` or ``"copies"`` — or a
-    :class:`~repro.distributed.placement.PlacementPolicy` instance) and an
+    :class:`~repro.distributed.placement.PlacementPolicy` instance),
+    ``replication_protocol`` (a protocol kind — ``"available-copies"``,
+    ``"quorum"`` or ``"primary-copy"`` — or a
+    :class:`~repro.distributed.replication.ReplicationProtocol` instance,
+    with ``quorum_read``/``quorum_write`` sizing the quorums) and an
     optional ``backend_factory`` constructing one backend per site.
     """
 
@@ -222,6 +254,9 @@ class TransactionRouter:
         record_history: bool = False,
         retain_terminated: bool = True,
         backend_factory=None,
+        replication_protocol: str = "available-copies",
+        quorum_read: Optional[int] = None,
+        quorum_write: Optional[int] = None,
     ):
         if isinstance(replication, PlacementPolicy):
             self.placement = replication
@@ -231,6 +266,15 @@ class TransactionRouter:
             raise ReproError(
                 f"placement covers {self.placement.site_count} sites, router has {site_count}"
             )
+        if isinstance(replication_protocol, ReplicationProtocol):
+            self.replication = replication_protocol
+        else:
+            self.replication = make_replication_protocol(
+                replication_protocol,
+                read_quorum=quorum_read,
+                write_quorum=quorum_write,
+            )
+        self.replication.attach(self)
         self.site_count = site_count
         self.policy = policy
         self.retain_terminated = retain_terminated
@@ -263,6 +307,15 @@ class TransactionRouter:
         #: a simulation attaches one — the router's protocol decisions never
         #: depend on it, only the timing of the physical phase does.
         self._charger = None
+        #: Union-graph mutation total at the end of the last periodic sweep;
+        #: a sweep whose total is unchanged has nothing new to inspect.
+        self._swept_mutations = 0
+        #: Mutations accumulated by schedulers that crashes discarded.  The
+        #: sweep gate's total must be monotonic: without this, a site that
+        #: failed (its count leaves the sum) and recovered (a fresh graph
+        #: counts from zero) could return the sum to an already-seen value
+        #: while a cycle closed in between, silencing the sweep for good.
+        self._retired_mutations = 0
 
     # ------------------------------------------------------------------
     # Setup (Scheduler-compatible, so workloads can register blindly)
@@ -361,6 +414,30 @@ class TransactionRouter:
             _fold_stats(total, site.stats)
         return total
 
+    def replication_summary(self) -> Dict[str, int]:
+        """Deterministic replication-protocol counters for this run.
+
+        Empty for the centralized ``site_count=1`` configuration (there is
+        no replication to account for, and the pinned single-site counter
+        sets must stay closed); multi-site runs report the protocol's
+        message/failover/catch-up overhead plus the router's availability
+        and sweep counters.  Feeds the ``replication_*`` counters of
+        :meth:`repro.sim.metrics.RunMetrics.counters`.
+        """
+        if self.site_count == 1:
+            return {}
+        stats = self.replication.stats
+        return {
+            "messages": stats.messages,
+            "failovers": stats.failovers,
+            "catchups": stats.catchups,
+            "catchup_objects": stats.catchup_objects,
+            "read_unavailable_aborts": self.router_stats.read_unavailable_aborts,
+            "write_unavailable_aborts": self.router_stats.write_unavailable_aborts,
+            "site_failure_aborts": self.router_stats.site_failure_aborts,
+            "cycle_sweeps": self.router_stats.cycle_sweeps,
+        }
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
@@ -442,26 +519,23 @@ class TransactionRouter:
         mutations_before = sum(graph.mutations for graph in watched_graphs)
 
         if self._is_read_only(object_name, invocation):
-            # Read-one: spread reads over the replicas by a stable hash of
-            # the object name (each object has a deterministic home replica),
-            # falling over to the next readable copy when it is down or
-            # still recovering.  With one site this always picks site 0.
-            # When per-site hardware is attached, prefer the least-loaded
-            # readable replica instead (hash order breaks ties), so reads
-            # balance over the capacity replication added.
-            offset = zlib.crc32(object_name.encode("utf-8")) % len(placed)
-            ordered = placed[offset:] + placed[:offset]
-            candidates = [
-                sid for sid in ordered if self.sites[sid].readable(object_name)
-            ]
-            if not candidates:
+            # The protocol picks the read replica set: one readable copy
+            # under available-copies and primary-copy (stable-hash rotation,
+            # least-loaded tie-break), ``R`` copies under quorum consensus.
+            # With one site this always picks site 0.
+            targets = self.replication.select_read(object_name, placed, request)
+            if not targets:
+                self.router_stats.read_unavailable_aborts += 1
                 self._unavailable(transaction, request)
                 return request
-            target = self._select_read_replica(candidates)
-            self._submit_branch(transaction, self.sites[target], request)
+            for sid in targets:
+                if transaction.status is not TransactionStatus.ACTIVE:
+                    break  # a branch abort cascaded into a global abort
+                self._submit_branch(transaction, self.sites[sid], request)
         else:
-            targets = [sid for sid in placed if self.sites[sid].writable(object_name)]
+            targets = self.replication.select_write(object_name, placed, transaction)
             if not targets:
+                self.router_stats.write_unavailable_aborts += 1
                 self._unavailable(transaction, request)
                 return request
             for sid in targets:
@@ -497,25 +571,6 @@ class TransactionRouter:
             branch.local_tid, request.object_name, request.invocation
         )
         request.branch_handles[site.site_id] = handle
-
-    def _select_read_replica(self, candidates: List[int]) -> int:
-        """Pick the replica a read executes at from the readable candidates.
-
-        ``candidates`` come in hash-rotation order.  Without per-site
-        hardware (no domains attached: no charger, or a shared global pool)
-        the first is taken — the pre-refactor behaviour.  With site-owned
-        domains the least-loaded candidate wins, earlier rotation position
-        breaking ties deterministically.
-        """
-        if len(candidates) == 1:
-            return candidates[0]
-        domains = [self.sites[sid].domain for sid in candidates]
-        if any(domain is None for domain in domains):
-            return candidates[0]
-        best = min(
-            range(len(candidates)), key=lambda index: (domains[index].load, index)
-        )
-        return candidates[best]
 
     def _is_read_only(self, object_name: str, invocation: Invocation) -> bool:
         spec = self._specs[object_name]
@@ -557,6 +612,7 @@ class TransactionRouter:
             ):
                 live.add(site_id)
         transaction.outstanding = set(live)
+        self.replication.on_commit_fanout(sorted(live))
         for site_id in sorted(live):
             branch = transaction.branches[site_id]
             # A durable local commit fires the relay synchronously and drops
@@ -631,6 +687,7 @@ class TransactionRouter:
         transaction.current_request = None
         for site_id, branch in transaction.branches.items():
             self._local_map[site_id].pop(branch.local_tid, None)
+        self.replication.on_transaction_finished(transaction)
         if not self.retain_terminated:
             self.transactions.pop(transaction.gtid, None)
 
@@ -649,6 +706,8 @@ class TransactionRouter:
         reported, and the surviving replicas carry its effects.
         """
         site = self.sites[site_id]
+        if not site.status.is_up:
+            raise ReproError(f"site {site_id} is already down")
         generation = site.generation
         affected = [
             transaction
@@ -657,8 +716,10 @@ class TransactionRouter:
             and transaction.branches[site_id].generation == generation
         ]
         self._local_map[site_id].clear()
+        self._retired_mutations += site.scheduler.graph.mutations
         site.fail()
         self.router_stats.site_failures += 1
+        self.replication.on_site_failed(site_id)
         for transaction in affected:
             if transaction.status in (TransactionStatus.ABORTED, TransactionStatus.COMMITTED):
                 continue
@@ -682,12 +743,18 @@ class TransactionRouter:
                 transaction.branches.pop(site_id, None)
 
     def recover_site(self, site_id: int) -> None:
-        """Bring a failed site back (replicated copies unreadable until a
-        committed write; see :meth:`Site.recover`)."""
+        """Bring a failed site back up.
+
+        What the recovered copies are worth is the protocol's call: under
+        available-copies they stay unreadable until a committed write lands
+        (see :meth:`Site.recover`); quorum consensus and primary-copy catch
+        the site up from a live replica so its copies serve reads at once.
+        """
         site = self.sites[site_id]
         scheduler = site.recover()
         scheduler.add_listener(self._relays[site_id])
         self.router_stats.site_recoveries += 1
+        self.replication.on_site_recovered(site)
 
     # ------------------------------------------------------------------
     # Relay handlers (local scheduler events -> global bookkeeping)
@@ -735,13 +802,10 @@ class TransactionRouter:
         transaction = self.transactions.get(gtid)
         if transaction is None:
             return
-        # Available-copies recovery: a durably committed write refreshes the
-        # local copy, making it readable again — but only for objects whose
-        # write actually landed at *this* site (a write issued while the
-        # site was down never reached its copy).
-        if site.unreadable:
-            for name in transaction.written_at.get(site.site_id, ()):
-                site.mark_readable(name)
+        # The protocol reacts to the durable local commit: available-copies
+        # marks recovering copies the transaction wrote here readable again,
+        # quorum consensus additionally stamps the new copy versions.
+        self.replication.on_branch_committed(site, transaction)
         if transaction.outstanding is None:
             return
         transaction.outstanding.discard(site.site_id)
@@ -794,6 +858,117 @@ class TransactionRouter:
                     stack.append(successor)
         return False
 
+    def _union_mutations(self) -> int:
+        """Monotonic mutation total of the union graph, crashes included.
+
+        Live graphs' counters plus the final counts of every scheduler a
+        crash discarded — so failing and recovering a site can never return
+        the total to a previously-seen value and mask work from the sweep.
+        """
+        return self._retired_mutations + sum(
+            site.scheduler.graph.mutations
+            for site in self.sites
+            if site.status.is_up
+        )
+
+    def sweep_global_cycles(self) -> int:
+        """Detect and break union-graph cycles closed outside a submit.
+
+        The per-submit check only covers cycles closed by the operation
+        being routed; a queued request *granted* during another
+        transaction's termination cascade can add commit-dependency edges no
+        submit ever carried, closing a cross-site cycle with nobody
+        submitting — the participants then wedge their mpl slots forever.
+        The simulator runs this sweep periodically from an engine event (a
+        context where aborting is safe: no scheduler callback is on the
+        stack).  Gated on the dependency graphs' mutation counters, a quiet
+        period costs one integer sum.
+
+        A late-closed cycle hurts either way: a wait cycle wedges its
+        members' mpl slots, and a commit-dependency cycle that reaches the
+        commit path drains branch by branch — each site's cascade respects
+        only its *local* edges, so the members durably commit in a circular
+        global order, violating the dependencies the protocol exists to
+        respect.  The sweep catches the cycle while its members are still
+        live and aborts the youngest ``ACTIVE`` one with
+        ``AbortReason.DEADLOCK`` — the same newest-first victim rule as the
+        per-submit check.  Returns the number of victims aborted.
+        """
+        if self.site_count <= 1:
+            return 0
+        if self._union_mutations() == self._swept_mutations:
+            return 0
+        self.router_stats.cycle_sweeps += 1
+        aborted = 0
+        # One victim per detection pass: aborting a victim can break several
+        # overlapping cycles at once, so victims are never batch-collected
+        # from a stale graph — each abort is followed by a fresh look.
+        while True:
+            victim = self._find_sweep_victim()
+            if victim is None:
+                break
+            self.router_stats.cross_site_deadlock_aborts += 1
+            self._global_abort(self.transactions[victim], AbortReason.DEADLOCK)
+            aborted += 1
+        # Aborting mutates the graphs; snapshot afterwards so the next quiet
+        # sweep is free again.
+        self._swept_mutations = self._union_mutations()
+        return aborted
+
+    def _find_sweep_victim(self) -> Optional[int]:
+        """The victim of the first abortable union-graph cycle, or ``None``.
+
+        DFS over the union graph; in the first cycle found that has an
+        ``ACTIVE`` member, the youngest such member is the victim.  Cycles
+        with no abortable member are skipped (see
+        :meth:`sweep_global_cycles`) and the search continues.
+        """
+        color: Dict[int, int] = {}  # 1 = on the DFS path, 2 = finished
+        path: List[int] = []
+        roots = sorted(
+            gtid
+            for gtid, transaction in self.transactions.items()
+            if transaction.status
+            in (TransactionStatus.ACTIVE, TransactionStatus.PSEUDO_COMMITTED)
+        )
+        for root in roots:
+            if root in color:
+                continue
+            color[root] = 1
+            path.append(root)
+            stack = [(root, iter(sorted(self._global_successors(root))))]
+            while stack:
+                node, successors = stack[-1]
+                descended = False
+                for successor in successors:
+                    state = color.get(successor)
+                    if state == 1:
+                        cycle = path[path.index(successor):]
+                        victim = max(
+                            (
+                                gtid
+                                for gtid in cycle
+                                if self.transactions[gtid].status
+                                is TransactionStatus.ACTIVE
+                            ),
+                            default=None,
+                        )
+                        if victim is not None:
+                            return victim
+                    elif state is None:
+                        color[successor] = 1
+                        path.append(successor)
+                        stack.append(
+                            (successor, iter(sorted(self._global_successors(successor))))
+                        )
+                        descended = True
+                        break
+                if not descended:
+                    stack.pop()
+                    path.pop()
+                    color[node] = 2
+        return None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -827,5 +1002,6 @@ class TransactionRouter:
         up = len(self.live_sites())
         return (
             f"<TransactionRouter sites={self.site_count} up={up} "
-            f"placement={self.placement.name!r} policy={self.policy}>"
+            f"placement={self.placement.name!r} "
+            f"protocol={self.replication.name!r} policy={self.policy}>"
         )

@@ -29,7 +29,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import enum
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 from ..core.backends import ConcurrencyControlBackend, make_backend
 from ..core.errors import ReproError
@@ -176,6 +176,54 @@ class Site:
     def mark_readable(self, name: str) -> None:
         """A committed write refreshed the copy of ``name``."""
         self.unreadable.discard(name)
+
+    def has_uncommitted(self, name: str) -> bool:
+        """True while the copy of ``name`` holds uncommitted operations."""
+        return self.status.is_up and bool(self.scheduler.object(name).uncommitted)
+
+    # ------------------------------------------------------------------
+    # Committed-state snapshots (catch-up recovery)
+    # ------------------------------------------------------------------
+    def committed_snapshot(self, names: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+        """Deep-copied committed states of this site's copies.
+
+        Only *committed* state is snapshotted — uncommitted operations never
+        leave the site — and only for materialized objects (the ADT workload
+        runs with ``materialize_state=False``: its objects have no
+        executable state to copy).  This is what a recovering replica
+        catches up from under the quorum and primary-copy protocols.
+        """
+        if not self.status.is_up:
+            raise ReproError(f"site {self.site_id} is down; nothing to snapshot")
+        selected = self._registrations.keys() if names is None else names
+        snapshot: Dict[str, Any] = {}
+        for name in selected:
+            registration = self._registrations[name]
+            if registration.materialize_state:
+                snapshot[name] = copy.deepcopy(
+                    self.scheduler.object(name).committed_state
+                )
+        return snapshot
+
+    def install_committed(self, name: str, state: Any) -> None:
+        """Catch-up: overwrite one copy's committed state, making it readable.
+
+        Only safe while the copy has no uncommitted operations — i.e. right
+        after recovery, before any transaction touches the fresh scheduler —
+        so installing onto a copy with in-flight work is rejected.
+        """
+        if not self.status.is_up:
+            raise ReproError(f"site {self.site_id} is down; cannot install state")
+        manager = self.scheduler.object(name)
+        if manager.uncommitted:
+            raise ReproError(
+                f"site {self.site_id} has uncommitted operations on {name!r}; "
+                "catch-up must happen before new work arrives"
+            )
+        if self._registrations[name].materialize_state:
+            manager.committed_state = state
+            manager.current_state = state
+        self.mark_readable(name)
 
     # ------------------------------------------------------------------
     # Resources

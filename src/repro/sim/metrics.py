@@ -47,6 +47,10 @@ class RunMetrics:
     #: frozen as sorted pairs.  Counters only — deterministic ints; the
     #: infinite-resource marker string is dropped.
     resource_summary: Tuple[Tuple[str, int], ...] = ()
+    #: The router's replication-protocol summary (protocol messages,
+    #: failovers, catch-up events, read/write unavailability, cycle
+    #: sweeps), frozen as sorted pairs; empty for single-site runs.
+    replication_summary: Tuple[Tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------
     # The paper's derived metrics
@@ -119,6 +123,11 @@ class RunMetrics:
         # placement); infinite runs contribute nothing.
         for name, value in self.resource_summary:
             counters[f"resource_{name}"] = value
+        # Replication-protocol overhead (messages, failovers, catch-ups,
+        # read/write unavailability) rides along the same way; single-site
+        # runs contribute nothing, keeping their pinned counter sets closed.
+        for name, value in self.replication_summary:
+            counters[f"replication_{name}"] = value
         return counters
 
     def as_dict(self) -> Dict[str, float]:
@@ -151,10 +160,15 @@ class MetricsCollector:
         # of the measurement window and subtracted at the end.
         self._scheduler_snapshot: Dict[str, int] = {}
         self._resource_snapshot: Dict[str, int] = {}
+        self._replication_snapshot: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def begin_measurement(
-        self, now: float, scheduler_stats, resource_summary: Optional[Mapping[str, object]] = None
+        self,
+        now: float,
+        scheduler_stats,
+        resource_summary: Optional[Mapping[str, object]] = None,
+        replication_summary: Optional[Mapping[str, int]] = None,
     ) -> None:
         """Start (or restart) the measurement window at simulated time ``now``."""
         self.started_at = now
@@ -163,14 +177,16 @@ class MetricsCollector:
         self.pseudo_commits = 0
         self.response_time_total = 0.0
         self.restarts = 0
-        # Like the scheduler counters, resource utilisation accumulated
-        # before the window (warm-up) is snapshotted and subtracted at
-        # freeze time, so saturation is reported per measured work.
+        # Like the scheduler counters, resource utilisation and replication
+        # overhead accumulated before the window (warm-up) are snapshotted
+        # and subtracted at freeze time, so both are reported per measured
+        # work.
         self._resource_snapshot = {
             name: value
             for name, value in (resource_summary or {}).items()
             if isinstance(value, int)
         }
+        self._replication_snapshot = dict(replication_summary or {})
         self._scheduler_snapshot = {
             "blocks": scheduler_stats.blocks,
             "cycle_checks": scheduler_stats.cycle_checks,
@@ -199,6 +215,7 @@ class MetricsCollector:
         scheduler_stats,
         events_processed: int,
         resource_summary: Optional[Mapping[str, object]] = None,
+        replication_summary: Optional[Mapping[str, int]] = None,
     ) -> RunMetrics:
         """Produce the immutable :class:`RunMetrics` for the window."""
         snapshot = self._scheduler_snapshot or {
@@ -228,6 +245,12 @@ class MetricsCollector:
                     (name, value - self._resource_snapshot.get(name, 0))
                     for name, value in (resource_summary or {}).items()
                     if isinstance(value, int)
+                )
+            ),
+            replication_summary=tuple(
+                sorted(
+                    (name, value - self._replication_snapshot.get(name, 0))
+                    for name, value in (replication_summary or {}).items()
                 )
             ),
         )

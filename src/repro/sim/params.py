@@ -71,6 +71,10 @@ class SimulationParameters:
     #: commit fan-out); site-local work pays nothing.  Zero disables the
     #: network model entirely (no extra events, preserving pinned streams).
     msg_time: float = 0.0
+    #: Heterogeneous per-site hardware: one ``resource_units`` value per
+    #: site (requires ``resource_placement="per_site"``); ``None`` gives
+    #: every site the homogeneous ``resource_units``.
+    site_units: Optional[Tuple[int, ...]] = None
 
     # ----- read/write workload -------------------------------------------------
     #: Probability that an operation of the read/write workload is a write.
@@ -90,9 +94,20 @@ class SimulationParameters:
     site_count: int = 1
     #: Placement of object copies across sites: ``"single"`` (everything on
     #: site 0), ``"hash"`` (each object sharded to one site by a stable hash),
-    #: or ``"copies"`` (every object replicated at every site with
-    #: available-copies read-one/write-all semantics).
+    #: or ``"copies"`` (every object replicated at every site).
     replication: str = "single"
+    #: How the replicas are kept consistent and selected:
+    #: ``"available-copies"`` (read-one / write-all-available with the
+    #: recovering-copy unreadable window), ``"quorum"`` (version-numbered
+    #: read/write quorums, ``R + W > N``, catch-up recovery) or
+    #: ``"primary-copy"`` (writes funnel through an elected primary with
+    #: deterministic failover, reads from any live replica, catch-up
+    #: recovery).
+    replication_protocol: str = "available-copies"
+    #: Read/write quorum sizes for the quorum protocol; ``None`` defaults
+    #: each to a majority of the copy count.
+    quorum_read: Optional[int] = None
+    quorum_write: Optional[int] = None
     #: Scripted site crashes and recoveries: ``(time, action, site_id)``
     #: entries with ``action`` in {"fail", "recover"}, executed as simulation
     #: events at the given simulated times.
@@ -121,6 +136,8 @@ class SimulationParameters:
         self.failure_schedule = tuple(
             (float(time), str(action), int(site)) for time, action, site in self.failure_schedule
         )
+        if self.site_units is not None:
+            self.site_units = tuple(int(units) for units in self.site_units)
         self.validate()
 
     def validate(self) -> None:
@@ -162,6 +179,69 @@ class SimulationParameters:
             raise SimulationError(
                 "replication must be one of 'single', 'hash', 'copies'"
             )
+        if self.replication_protocol not in (
+            "available-copies", "quorum", "primary-copy"
+        ):
+            raise SimulationError(
+                "replication_protocol must be one of 'available-copies', "
+                "'quorum', 'primary-copy'"
+            )
+        if self.quorum_read is not None or self.quorum_write is not None:
+            if self.replication_protocol != "quorum":
+                raise SimulationError(
+                    "quorum_read/quorum_write require replication_protocol='quorum'"
+                )
+            if self.replication != "copies":
+                # Hash/single placement gives every object one copy, so any
+                # explicit quorum would be silently clamped to 1/1 — reject
+                # rather than pretend the requested quorums are in force.
+                raise SimulationError(
+                    "explicit quorum_read/quorum_write require "
+                    "replication='copies'; hash/single placement puts one "
+                    "copy per object, which would clamp any quorum to 1"
+                )
+        for label, size in (("quorum_read", self.quorum_read),
+                            ("quorum_write", self.quorum_write)):
+            if size is not None and not 1 <= size <= self.site_count:
+                raise SimulationError(
+                    f"{label} must lie in [1, {self.site_count}] "
+                    f"for site_count={self.site_count}"
+                )
+        if self.replication_protocol == "quorum" and self.replication == "copies":
+            majority = self.site_count // 2 + 1
+            read = self.quorum_read if self.quorum_read is not None else majority
+            write = self.quorum_write if self.quorum_write is not None else majority
+            if read + write <= self.site_count:
+                raise SimulationError(
+                    f"quorum R={read} + W={write} must exceed the copy count "
+                    f"N={self.site_count} (every read quorum must intersect "
+                    "every write quorum)"
+                )
+            if 2 * write <= self.site_count:
+                raise SimulationError(
+                    f"write quorum W={write} must exceed half the copy count "
+                    f"N={self.site_count} (write quorums must intersect each "
+                    "other, or concurrent writers go unserialized)"
+                )
+        if self.site_units is not None:
+            if self.resource_placement != "per_site":
+                raise SimulationError(
+                    "site_units requires resource_placement='per_site'"
+                )
+            if self.resource_units is not None:
+                # Ambiguous hardware description: the per-site list is the
+                # unit count, so a homogeneous resource_units alongside it
+                # would be silently ignored (and misreported).
+                raise SimulationError(
+                    "site_units replaces resource_units; set one, not both"
+                )
+            if len(self.site_units) != self.site_count:
+                raise SimulationError(
+                    f"site_units lists {len(self.site_units)} sites, "
+                    f"site_count is {self.site_count}"
+                )
+            if any(units <= 0 for units in self.site_units):
+                raise SimulationError("site_units entries must be positive")
         for entry in self.failure_schedule:
             time, action, site = entry
             if time < 0:
@@ -187,18 +267,34 @@ class SimulationParameters:
 
     @property
     def infinite_resources(self) -> bool:
-        """True when the run models no CPU/disk contention."""
-        return self.resource_units is None
+        """True when the run models no CPU/disk contention.
+
+        A heterogeneous ``site_units`` list is finite hardware even while
+        ``resource_units`` stays ``None`` (the per-site list replaces it).
+        """
+        return self.resource_units is None and self.site_units is None
+
+    @staticmethod
+    def units_to_hardware(units: Optional[int]) -> Tuple[int, int]:
+        """``(num_cpus, num_disks)`` of one pool of ``units`` resource units.
+
+        A resource unit is one CPU plus two disks (Table IX); ``None`` is
+        the infinite-resource configuration, encoded as zero hardware.
+        This is the single source of the mapping — the shared-pool charger
+        applies it to ``resource_units``, the per-site charger to each
+        entry of ``site_units``.
+        """
+        return (0, 0) if units is None else (units, 2 * units)
 
     @property
     def num_cpus(self) -> int:
         """Number of CPUs (one per resource unit); 0 under infinite resources."""
-        return 0 if self.resource_units is None else self.resource_units
+        return self.units_to_hardware(self.resource_units)[0]
 
     @property
     def num_disks(self) -> int:
         """Number of disks (two per resource unit); 0 under infinite resources."""
-        return 0 if self.resource_units is None else 2 * self.resource_units
+        return self.units_to_hardware(self.resource_units)[1]
 
     def replace(self, **overrides: object) -> "SimulationParameters":
         """Return a copy with some fields overridden (validated)."""
@@ -208,7 +304,12 @@ class SimulationParameters:
         """A flat dict of the parameter values (used by the report renderer)."""
         description = dataclasses.asdict(self)
         description["policy"] = str(self.policy)
-        description["resource_units"] = (
-            "infinite" if self.resource_units is None else self.resource_units
-        )
+        if self.resource_units is not None:
+            description["resource_units"] = self.resource_units
+        elif self.site_units is not None:
+            # Finite hardware, just heterogeneous: the per-site list (also
+            # echoed under "site_units") is the authoritative unit count.
+            description["resource_units"] = "per-site"
+        else:
+            description["resource_units"] = "infinite"
         return description

@@ -361,6 +361,10 @@ class PerSiteResources(ResourceCharger):
     is what lets replication show its read-scaling upside: each added site
     adds ``resource_units`` of capacity, reads load one replica each, and
     only writes fan out.
+
+    Hardware may be heterogeneous: ``params.site_units`` (one
+    ``resource_units`` value per site) gives each site its own pool size,
+    so a beefy primary can coexist with thin replicas.
     """
 
     def __init__(
@@ -376,22 +380,30 @@ class PerSiteResources(ResourceCharger):
         self.messages_sent = 0
         #: Operation charges that involved at least one remote replica.
         self.remote_operations = 0
-        self.domains: List[ResourceDomain] = [
-            ResourceDomain(
-                engine,
-                # Independent per-site streams: one site's disk choices must
-                # not perturb another's, and adding a site must not reshuffle
-                # the existing sites' draws.
-                rng.spawn(f"site{site_id}"),
-                num_cpus=params.num_cpus,
-                num_disks=params.num_disks,
-                cpu_time=params.cpu_time,
-                io_time=params.io_time,
-                step_time=params.step_time,
-                name=f"site{site_id}/",
+
+        def units_of(site_id: int) -> Optional[int]:
+            if params.site_units is not None:
+                return params.site_units[site_id]
+            return params.resource_units
+
+        self.domains: List[ResourceDomain] = []
+        for site_id in range(site_count):
+            num_cpus, num_disks = params.units_to_hardware(units_of(site_id))
+            self.domains.append(
+                ResourceDomain(
+                    engine,
+                    # Independent per-site streams: one site's disk choices
+                    # must not perturb another's, and adding a site must not
+                    # reshuffle the existing sites' draws.
+                    rng.spawn(f"site{site_id}"),
+                    num_cpus=num_cpus,
+                    num_disks=num_disks,
+                    cpu_time=params.cpu_time,
+                    io_time=params.io_time,
+                    step_time=params.step_time,
+                    name=f"site{site_id}/",
+                )
             )
-            for site_id in range(site_count)
-        ]
 
     # ------------------------------------------------------------------
     def perform_operation(

@@ -11,9 +11,14 @@ One :class:`Simulation` object models the whole system of the paper's Figure 3:
   strict-2PL baseline) and deciding, per operation, whether the request
   executes, blocks, or aborts the transaction; with one site this is exactly
   the centralized system of the paper;
-* scripted site crash/recover events (``failure_schedule``) with
-  available-copies semantics: writers of a failed site abort and restart,
-  recovered replicas stay unreadable until a committed write;
+* scripted site crash/recover events (``failure_schedule``) whose meaning
+  the selected ``replication_protocol`` decides: writers of a failed site
+  abort and restart everywhere, while a recovered replica either stays
+  unreadable until a committed write (available-copies) or catches up from
+  a live copy at recovery time (quorum, primary-copy);
+* a periodic union-graph sweep (multi-site runs only) that detects and
+  breaks cross-site cycles closed during termination cascades, which the
+  per-submit check cannot see;
 * a resource phase per executed operation (constant ``step_time`` under
   infinite resources; CPU then disk queueing under finite resources),
   charged through the router to one shared global pool or to the domains
@@ -122,6 +127,9 @@ class Simulation(SchedulerListener):
             record_history=False,
             retain_terminated=False,
             backend_factory=(lambda: backend) if backend is not None else None,
+            replication_protocol=params.replication_protocol,
+            quorum_read=params.quorum_read,
+            quorum_write=params.quorum_write,
         )
         self.router.add_listener(self)
         self.workload.register_objects(self.router)
@@ -152,9 +160,13 @@ class Simulation(SchedulerListener):
                 200 * self.params.total_completions * self.params.max_length,
             )
         self.metrics.begin_measurement(
-            0.0, self.router.stats, self.resources.utilisation_summary()
+            0.0,
+            self.router.stats,
+            self.resources.utilisation_summary(),
+            self.router.replication_summary(),
         )
         self._schedule_site_events()
+        self._schedule_cycle_sweep()
         for terminal in self.terminals:
             terminal.think_then_submit(
                 self.engine, self.think_rng, self.params.ext_think_time, self._submit
@@ -165,6 +177,7 @@ class Simulation(SchedulerListener):
             self.router.stats,
             self.engine.events_processed,
             resource_summary=self.resources.utilisation_summary(),
+            replication_summary=self.router.replication_summary(),
         )
 
     def _schedule_site_events(self) -> None:
@@ -173,6 +186,30 @@ class Simulation(SchedulerListener):
             self.engine.schedule_at(
                 time, lambda action=action, site_id=site_id: self._site_event(action, site_id)
             )
+
+    def _schedule_cycle_sweep(self) -> None:
+        """Periodically sweep the union graph for late-closing cycles.
+
+        Cross-site cycles closed during a termination cascade (a queued
+        request re-blocked when another transaction's locks drain) are
+        invisible to the per-submit check; the sweep catches them from a
+        plain engine event — a context where aborting the victim is safe —
+        every operation time.  The sweep is gated on the dependency graphs'
+        mutation counters, so quiet periods cost one integer sum; with one
+        site no event is ever scheduled and the centralized event stream is
+        untouched.
+        """
+        if self.params.site_count <= 1:
+            return
+        period = self.params.step_time
+
+        def sweep() -> None:
+            if self._done():
+                return
+            self.router.sweep_global_cycles()
+            self.engine.schedule(period, sweep)
+
+        self.engine.schedule(period, sweep)
 
     def _site_event(self, action: str, site_id: int) -> None:
         site = self.router.sites[site_id]
@@ -323,7 +360,10 @@ class Simulation(SchedulerListener):
         if self.completions >= self.params.warmup_completions:
             self._measuring = True
             self.metrics.begin_measurement(
-                self.engine.now, self.router.stats, self.resources.utilisation_summary()
+                self.engine.now,
+                self.router.stats,
+                self.resources.utilisation_summary(),
+                self.router.replication_summary(),
             )
 
     # ------------------------------------------------------------------

@@ -135,6 +135,86 @@ class TestSimulateCommand:
         assert payload["sites"]["recoveries"] == 1
         assert payload["counters"]["completions"] == 60
 
+    def test_json_echoes_the_failure_schedule(self):
+        """A JSON run is self-describing: the schedule that shaped its
+        counters is echoed both in the params block and the sites block."""
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--sites", "2",
+            "--fail-at", "0.5:1",
+            "--recover-at", "1.5:1",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        expected = [[0.5, "fail", 1], [1.5, "recover", 1]]
+        assert payload["sites"]["failure_schedule"] == expected
+        assert payload["params"]["failure_schedule"] == expected
+
+    def test_replication_protocol_flags(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "60",
+            "--sites", "2",
+            "--replication-protocol", "quorum",
+            "--quorum-r", "1",
+            "--quorum-w", "2",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["sites"]["replication_protocol"] == "quorum"
+        assert payload["params"]["replication_protocol"] == "quorum"
+        assert payload["params"]["quorum_read"] == 1
+        assert payload["counters"]["replication_messages"] > 0
+
+    def test_broken_quorum_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("simulate", "--sites", "2",
+                    "--replication-protocol", "quorum",
+                    "--quorum-r", "1", "--quorum-w", "1")
+        assert excinfo.value.code == 2
+        assert "quorum" in capsys.readouterr().err
+
+    def test_site_units_run(self):
+        import json
+
+        code, text = run_cli(
+            "simulate",
+            "--database-size", "50",
+            "--mpl", "8",
+            "--completions", "40",
+            "--sites", "2",
+            "--resource-placement", "per_site",
+            "--site-units", "2,1",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["params"]["site_units"] == [2, 1]
+        assert payload["counters"]["resource_site0_cpu_served"] > 0
+
+    @pytest.mark.parametrize("units", ["2", "2,1,1", "2,x"])
+    def test_bad_site_units_exit_with_argparse_error(self, capsys, units):
+        """Length mismatches and junk are a usage error, never a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("simulate", "--sites", "2",
+                    "--resource-placement", "per_site",
+                    "--site-units", units)
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "--site-units" in captured.err
+        assert "Traceback" not in captured.err
+
     def test_sites_default_replication_is_copies(self):
         import json
 

@@ -20,9 +20,13 @@ length, commit-dependency edges, simulation-engine events, the simulated
 time (a deterministic float), and — for finite-resource points — the
 ``resource_*`` utilisation counters (CPU/disk served and waits, per site
 under per-site placement, plus network messages when a ``msg_time`` cost is
-modelled), so resource saturation is visible in the perf trajectory.  Every
-value derives only from ``(parameters, seed)``; nothing here measures the
-host machine.
+modelled), so resource saturation is visible in the perf trajectory.
+Multi-site points additionally carry the ``replication_*`` counters
+(protocol messages, failovers, catch-up events, read/write unavailability,
+cycle sweeps), so each protocol's coordination overhead is tracked per PR —
+``figure-4-protocols`` is the experiment built around them.  Every value
+derives only from ``(parameters, seed)``; nothing here measures the host
+machine.
 """
 
 from __future__ import annotations
