@@ -24,6 +24,11 @@ The CLI exposes the experiment harness without writing any Python:
     keep the replicas consistent with version-numbered read/write quorums
     (``R + W > N``) instead of available-copies; ``--replication-protocol
     primary-copy`` funnels writes through an elected primary instead;
+``python -m repro simulate --sites 3 --replication-protocol quorum --quorum-r 2 --quorum-w 2 --commit-protocol two-phase``
+    report each commit durable only after certification and ``W`` live
+    stamped copies per written object (2PC), re-replicating under-stamped
+    objects when a site crashes; ``--prepare-timeout 0.5`` bounds how long
+    a held commit may wait for its stamps before being force-reported;
 ``python -m repro simulate --sites 4 --resource-placement per_site --site-units 2,1,1,4``
     heterogeneous hardware: per-site resource-unit counts;
 ``python -m repro simulate --json``
@@ -129,6 +134,19 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--quorum-w", type=int, default=None, metavar="W",
                           help="write quorum size for --replication-protocol "
                                "quorum (default: a majority of the copies)")
+    simulate.add_argument("--commit-protocol",
+                          choices=["one-phase", "two-phase"],
+                          default="one-phase",
+                          help="when a distributed commit reports durable: "
+                               "one-phase (one fan-out, durable once every "
+                               "branch drained) or two-phase (commit-time "
+                               "cycle certification, W-ack durability under "
+                               "quorum, re-replication on site failure)")
+    simulate.add_argument("--prepare-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="force-report a two-phase commit still below "
+                               "its W-stamp condition after this much "
+                               "simulated time (default: wait indefinitely)")
     simulate.add_argument("--site-units", default=None, metavar="U0,U1,...",
                           help="heterogeneous per-site hardware: one "
                                "resource-unit count per site (comma-"
@@ -247,6 +265,8 @@ def _command_simulate(arguments, out, error) -> int:
             replication_protocol=arguments.replication_protocol,
             quorum_read=arguments.quorum_r,
             quorum_write=arguments.quorum_w,
+            commit_protocol=arguments.commit_protocol,
+            prepare_timeout=arguments.prepare_timeout,
             site_units=_parse_site_units(
                 arguments.site_units, arguments.sites, error
             ),
@@ -270,6 +290,7 @@ def _command_simulate(arguments, out, error) -> int:
                 "count": params.site_count,
                 "replication": params.replication,
                 "replication_protocol": params.replication_protocol,
+                "commit_protocol": params.commit_protocol,
                 # Echo the scripted crash/recover schedule so a JSON run is
                 # fully self-describing (the schedule shapes every counter
                 # below; re-running without it would not reproduce them).
@@ -283,6 +304,7 @@ def _command_simulate(arguments, out, error) -> int:
                 "cross_site_deadlock_aborts": router_stats.cross_site_deadlock_aborts,
                 "cycle_sweeps": router_stats.cycle_sweeps,
                 "replication_counters": simulation.router.replication_summary(),
+                "commit_counters": simulation.router.commit_summary(),
             },
         }
         out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

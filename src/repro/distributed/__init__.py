@@ -10,12 +10,23 @@ according to a pluggable :class:`PlacementPolicy`, with a pluggable
 consequences and recovery semantics — available-copies (read-one /
 write-all-available), version-numbered quorum consensus, or primary-copy
 with deterministic failover — plus scripted site failure and recovery with
-catch-up.
+catch-up.  A pluggable :class:`CommitProtocol` decides when a distributed
+commit may report durable: the one-shot fan-out baseline, or 2PC with
+commit-time cycle certification, W-ack durability and failure-triggered
+re-replication.
 
-See :mod:`repro.distributed.router` and :mod:`repro.distributed.replication`
-for the protocol details.
+See :mod:`repro.distributed.router`, :mod:`repro.distributed.replication`
+and :mod:`repro.distributed.commit` for the protocol details.
 """
 
+from .commit import (
+    CommitProtocol,
+    CommitStatistics,
+    OnePhase,
+    TwoPhase,
+    make_commit_protocol,
+)
+from .cycles import UnionCycleDetector
 from .placement import (
     HashShardedPlacement,
     PlacementPolicy,
@@ -43,9 +54,12 @@ from .site import Site, SiteStatus
 __all__ = [
     "AvailableCopies",
     "BranchRef",
+    "CommitProtocol",
+    "CommitStatistics",
     "GlobalRequest",
     "GlobalTransaction",
     "HashShardedPlacement",
+    "OnePhase",
     "PlacementPolicy",
     "PrimaryCopy",
     "QuorumConsensus",
@@ -57,6 +71,9 @@ __all__ = [
     "Site",
     "SiteStatus",
     "TransactionRouter",
+    "TwoPhase",
+    "UnionCycleDetector",
+    "make_commit_protocol",
     "make_placement",
     "make_replication_protocol",
 ]

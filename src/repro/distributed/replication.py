@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ReproError, SimulationError
+from ..core.transaction import TransactionStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .router import GlobalRequest, GlobalTransaction, TransactionRouter
@@ -84,6 +85,14 @@ class ReplicationStatistics:
     failovers: int = 0
     catchups: int = 0
     catchup_objects: int = 0
+    #: Quorum commits reported durable with fewer than ``W`` live stamped
+    #: copies of a written object (one count per under-stamped object).
+    #: This is the under-replication window the ROADMAP documented: the
+    #: one-phase commit protocol opens it whenever a crash drops a
+    #: pseudo-committed branch, the two-phase protocol's W-ack durability
+    #: plus re-replication closes it (a nonzero value under 2PC means the
+    #: ``prepare_timeout`` force-reported a commit).
+    under_replicated_window: int = 0
 
 
 class ReplicationProtocol:
@@ -133,23 +142,28 @@ class ReplicationProtocol:
             if sites[sid].readable(object_name)
         ]
 
-    def _least_loaded(self, candidates: List[int]) -> int:
-        """Pick a read replica from candidates in hash-rotation order.
+    def _load_ranked(self, candidates: List[int]) -> List[int]:
+        """Candidates reordered least-loaded-first, ties kept in input order.
 
-        Without per-site hardware (no domains attached) the first candidate
-        wins — the pre-refactor behaviour.  With site-owned domains the
-        least-loaded candidate wins, earlier rotation position breaking ties
-        deterministically.
+        Without per-site hardware (no domains attached) the input order is
+        returned unchanged — the pre-refactor behaviour, which keeps pinned
+        streams bit-identical.  With site-owned domains the candidates are
+        stably sorted by their domain's outstanding load, earlier input
+        (hash-rotation) position breaking ties deterministically.
         """
-        if len(candidates) == 1:
-            return candidates[0]
+        if len(candidates) <= 1:
+            return candidates
         domains = [self.router.sites[sid].domain for sid in candidates]
         if any(domain is None for domain in domains):
-            return candidates[0]
-        best = min(
+            return candidates
+        order = sorted(
             range(len(candidates)), key=lambda index: (domains[index].load, index)
         )
-        return candidates[best]
+        return [candidates[index] for index in order]
+
+    def _least_loaded(self, candidates: List[int]) -> int:
+        """Pick a read replica: the least-loaded candidate, rotation ties."""
+        return self._load_ranked(candidates)[0]
 
     # ------------------------------------------------------------------
     # Replica-set selection
@@ -286,12 +300,15 @@ class _VersionedCatchUp(ReplicationProtocol):
     writes stick to one W-set, every reported commit leaves at least one
     durably stamped copy even through crash cascades (a branch either
     drained durably before its site died, or the site failure's abort
-    cascade drains a surviving sibling).  A commit can still end up
-    *under-replicated* — fewer than W stamped copies — in which case the
-    affected object trades availability, never consistency: reads go
-    unavailable until a stamped copy is back to catch peers up.  See the
-    ROADMAP's "Quorum commit re-replication" item for the 2PC-style fix that
-    would restore full W-replication.
+    cascade drains a surviving sibling).  Under the one-phase commit
+    protocol a commit can still end up *under-replicated* — fewer than W
+    stamped copies — in which case the affected object trades availability,
+    never consistency: reads go unavailable until a stamped copy is back to
+    catch peers up, and the ``under_replicated_window`` counter records
+    each such reported commit.  The
+    :class:`~repro.distributed.commit.TwoPhase` commit protocol closes the
+    window: it reports durable only at ``W`` live stamps and restores full
+    W-replication through :meth:`QuorumConsensus.restore_write_replication`.
     """
 
     def __init__(self) -> None:
@@ -320,11 +337,9 @@ class _VersionedCatchUp(ReplicationProtocol):
             self._version[(site.site_id, name)] = target
 
     def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
-        written: Set[str] = set()
-        for names in transaction.written_at.values():
-            written.update(names)
-            for name in names:
-                self._commit_targets.pop((transaction.gtid, name), None)
+        written = transaction.written_objects()
+        for name in written:
+            self._commit_targets.pop((transaction.gtid, name), None)
         # The finished transaction may have been the in-flight write that
         # deferred a recovered copy's readability (see _refresh_copies):
         # retry those copies now that the write either stamped fresher
@@ -472,11 +487,17 @@ class QuorumConsensus(_VersionedCatchUp):
         # Read-your-writes: copies holding the reading transaction's own
         # uncommitted writes go first, so the quorum is guaranteed to
         # contain one (committed versions cannot rank a pending write).
+        # Within each segment, quorum members are picked least-loaded-first
+        # (like the available-copies read-one), hash-rotation position
+        # breaking ties — a no-op without per-site hardware, so pinned
+        # streams are unchanged.
         own = self._own_write_sites(request.transaction_id, object_name)
         if own:
-            candidates = [sid for sid in candidates if sid in own] + [
-                sid for sid in candidates if sid not in own
-            ]
+            candidates = self._load_ranked(
+                [sid for sid in candidates if sid in own]
+            ) + self._load_ranked([sid for sid in candidates if sid not in own])
+        else:
+            candidates = self._load_ranked(candidates)
         if len(candidates) < r:
             return []
         selected = candidates[:r]
@@ -539,6 +560,103 @@ class QuorumConsensus(_VersionedCatchUp):
             return []
         self.stats.messages += w - 1
         return candidates[:w]
+
+    # ------------------------------------------------------------------
+    # Write durability (the 2PC commit protocol's W-ack condition)
+    # ------------------------------------------------------------------
+    def effective_write_quorum(self, object_name: str) -> int:
+        """The ``W`` one object's writes must stamp to be fully replicated."""
+        placed = self.router.placement.sites_for(object_name)
+        _, w = self._quorums(object_name, placed)
+        return w
+
+    def live_stamped_count(self, object_name: str, version: int) -> int:
+        """Live copies stamped at (or past) ``version``.
+
+        A copy caught up beyond the version carries the write's effects
+        too — versions only move through states that include their
+        predecessors — so ``>=`` is the durable-coverage test.
+        """
+        return sum(
+            1
+            for sid in self.router.placement.sites_for(object_name)
+            if self.router.sites[sid].status.is_up
+            and self.version_of(sid, object_name) >= version
+        )
+
+    def write_stamp_deficit(self, object_name: str, gtid: int) -> int:
+        """Live stamped copies a transaction's write is short of ``W``.
+
+        Zero means the write is durably ``W``-replicated.  A write whose
+        commit target has not been assigned yet (no branch drained — every
+        stamped copy died before draining) counts as fully missing.
+        """
+        w = self.effective_write_quorum(object_name)
+        target = self._commit_targets.get((gtid, object_name))
+        if target is None:
+            return w
+        return max(0, w - self.live_stamped_count(object_name, target))
+
+    def restore_write_replication(self, names: Optional[Sequence[str]] = None) -> int:
+        """Copy stamped committed state onto spare live replicas.
+
+        For every (requested) object whose latest stamped version has
+        fewer than ``W`` live stamped copies, the freshest live stamp is
+        copied — committed state only, exactly like recovery catch-up — to
+        additional live replicas (rotation order) until ``W`` is restored.
+        A spare holding in-flight work is skipped (installing over
+        uncommitted operations is unsafe); the restore is retried when
+        that work finishes.  Returns the number of copies installed.
+        """
+        copied = 0
+        targets = sorted(self._latest) if names is None else names
+        for name in targets:
+            latest = self._latest.get(name, 0)
+            if latest == 0:
+                continue
+            placed = self.router.placement.sites_for(name)
+            if len(placed) <= 1:
+                continue
+            stamped = [
+                sid
+                for sid in placed
+                if self.router.sites[sid].status.is_up
+                and self.version_of(sid, name) >= latest
+            ]
+            w = self.effective_write_quorum(name)
+            if not stamped or len(stamped) >= w:
+                continue  # nothing live to copy from, or already replicated
+            source = self.router.sites[stamped[0]]
+            state = source.committed_snapshot([name]).get(name)
+            source_version = self.version_of(stamped[0], name)
+            for sid in self._rotated(name, placed):
+                if len(stamped) >= w:
+                    break
+                site = self.router.sites[sid]
+                if (
+                    sid in stamped
+                    or not site.status.is_up
+                    or site.has_uncommitted(name)
+                ):
+                    continue
+                site.install_committed(name, state)
+                self._version[(sid, name)] = source_version
+                stamped.append(sid)
+                copied += 1
+        if copied:
+            self.stats.messages += copied
+        return copied
+
+    def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
+        # Audit the reported commit before the targets are released: each
+        # written object below W live stamped copies at report time is one
+        # opening of the under-replication window (the number the commit
+        # protocols trade against latency).
+        if transaction.status is TransactionStatus.COMMITTED:
+            for name in sorted(transaction.written_objects()):
+                if self.write_stamp_deficit(name, transaction.gtid) > 0:
+                    self.stats.under_replicated_window += 1
+        super().on_transaction_finished(transaction)
 
 
 class PrimaryCopy(_VersionedCatchUp):

@@ -17,11 +17,24 @@ and recovery mean for a copy — is decided by a pluggable
   through an elected primary, reads come from any live replica, with
   deterministic failover and catch-up recovery.
 
+*When* a distributed commit may report durable is likewise pluggable — a
+:class:`~repro.distributed.commit.CommitProtocol`:
+
+* :class:`~repro.distributed.commit.OnePhase` (the default) — one commit
+  fan-out, durable once every branch drained, a pseudo-committed branch
+  lost with its site dropped from the commit-outstanding set (the
+  extracted pre-refactor behaviour, bit-identical);
+* :class:`~repro.distributed.commit.TwoPhase` — commit-time certification
+  against the union dependency graph before any branch stamps durable,
+  durability reported only once the replication protocol's write condition
+  holds (``W`` live stamped copies under quorum consensus), and
+  failure-triggered re-replication of under-stamped objects.
+
 The router keeps the protocol-independent rules: when a site fails, its
 scheduler state is lost and every global transaction that *wrote* to the site
 (or whose in-flight operation is blocked there) aborts; completed
-transactions survive, and a pseudo-committed branch lost with the site is
-dropped from the commit-outstanding set.
+transactions survive, and what a pseudo-committed branch lost with the site
+means for the commit is the commit protocol's call.
 
 A global transaction lazily opens one *branch* (a local transaction) per site
 it touches.  Branch-level protocol decisions stay with the per-site backends —
@@ -64,6 +77,8 @@ from ..core.requests import AbortReason, RequestHandle, RequestStatus
 from ..core.scheduler import SchedulerListener, SchedulerStatistics
 from ..core.specification import Event, Invocation, TypeSpecification
 from ..core.transaction import TransactionStatus
+from .commit import CommitProtocol, make_commit_protocol
+from .cycles import UnionCycleDetector
 from .placement import PlacementPolicy, make_placement
 from .replication import ReplicationProtocol, make_replication_protocol
 from .site import Site, _fold_stats
@@ -182,6 +197,18 @@ class GlobalTransaction:
         """Alias so global and local transactions read alike in tests."""
         return self.gtid
 
+    def written_objects(self) -> Set[str]:
+        """Union of the objects this transaction wrote, over every site.
+
+        The single source for "what did this transaction write": the 2PC
+        durability check, the quorum under-replication audit and the
+        commit-target bookkeeping all key off it.
+        """
+        names: Set[str] = set()
+        for per_site in self.written_at.values():
+            names.update(per_site)
+        return names
+
     def require(self, *allowed: TransactionStatus) -> None:
         if self.status not in allowed:
             raise TransactionStateError(
@@ -241,7 +268,10 @@ class TransactionRouter:
     ``replication_protocol`` (a protocol kind — ``"available-copies"``,
     ``"quorum"`` or ``"primary-copy"`` — or a
     :class:`~repro.distributed.replication.ReplicationProtocol` instance,
-    with ``quorum_read``/``quorum_write`` sizing the quorums) and an
+    with ``quorum_read``/``quorum_write`` sizing the quorums),
+    ``commit_protocol`` (``"one-phase"`` or ``"two-phase"`` — or a
+    :class:`~repro.distributed.commit.CommitProtocol` instance, with
+    ``prepare_timeout`` bounding the two-phase durability wait) and an
     optional ``backend_factory`` constructing one backend per site.
     """
 
@@ -257,6 +287,8 @@ class TransactionRouter:
         replication_protocol: str = "available-copies",
         quorum_read: Optional[int] = None,
         quorum_write: Optional[int] = None,
+        commit_protocol: str = "one-phase",
+        prepare_timeout: Optional[float] = None,
     ):
         if isinstance(replication, PlacementPolicy):
             self.placement = replication
@@ -275,6 +307,18 @@ class TransactionRouter:
                 write_quorum=quorum_write,
             )
         self.replication.attach(self)
+        if isinstance(commit_protocol, CommitProtocol):
+            if prepare_timeout is not None:
+                raise ReproError(
+                    "prepare_timeout cannot accompany a commit protocol "
+                    "instance; configure the instance directly"
+                )
+            self.commit_protocol = commit_protocol
+        else:
+            self.commit_protocol = make_commit_protocol(
+                commit_protocol, prepare_timeout=prepare_timeout
+            )
+        self.commit_protocol.attach(self)
         self.site_count = site_count
         self.policy = policy
         self.retain_terminated = retain_terminated
@@ -307,15 +351,10 @@ class TransactionRouter:
         #: a simulation attaches one — the router's protocol decisions never
         #: depend on it, only the timing of the physical phase does.
         self._charger = None
-        #: Union-graph mutation total at the end of the last periodic sweep;
-        #: a sweep whose total is unchanged has nothing new to inspect.
-        self._swept_mutations = 0
-        #: Mutations accumulated by schedulers that crashes discarded.  The
-        #: sweep gate's total must be monotonic: without this, a site that
-        #: failed (its count leaves the sum) and recovered (a fresh graph
-        #: counts from zero) could return the sum to an already-seen value
-        #: while a cycle closed in between, silencing the sweep for good.
-        self._retired_mutations = 0
+        #: All union-graph cycle checks — the per-submit check, the periodic
+        #: sweep and the commit-time certification — plus the sweep's
+        #: monotonic mutation gate (see :mod:`repro.distributed.cycles`).
+        self._cycles = UnionCycleDetector(self)
 
     # ------------------------------------------------------------------
     # Setup (Scheduler-compatible, so workloads can register blindly)
@@ -390,13 +429,22 @@ class TransactionRouter:
         )
 
     def commit_network_delay(self, transaction_id: int) -> float:
-        """Network delay of fanning this transaction's commit to its branches."""
+        """Network delay of fanning this transaction's commit to its branches.
+
+        The commit protocol decides how many message rounds the fan-out
+        costs: one for the one-shot fan-out, two under 2PC (prepare, then
+        commit) — each charged to the network model separately.
+        """
         if self._charger is None:
             return 0.0
         transaction = self.transaction(transaction_id)
-        return self._charger.commit_network_delay(
-            sorted(transaction.branches), transaction.home_site
-        )
+        branches = sorted(transaction.branches)
+        total = 0.0
+        for _ in range(self.commit_protocol.network_rounds):
+            total += self._charger.commit_network_delay(
+                branches, transaction.home_site
+            )
+        return total
 
     # ------------------------------------------------------------------
     # Aggregated statistics
@@ -436,6 +484,31 @@ class TransactionRouter:
             "write_unavailable_aborts": self.router_stats.write_unavailable_aborts,
             "site_failure_aborts": self.router_stats.site_failure_aborts,
             "cycle_sweeps": self.router_stats.cycle_sweeps,
+            "under_replicated_window": stats.under_replicated_window,
+        }
+
+    def commit_summary(self) -> Dict[str, int]:
+        """Deterministic commit-protocol counters for this run.
+
+        Empty for the centralized ``site_count=1`` configuration (a local
+        commit needs no coordination, and the pinned single-site counter
+        sets must stay closed); multi-site runs report the protocol's
+        prepare/ack traffic, certification outcomes and re-replication
+        work.  Feeds the ``commit_*`` counters of
+        :meth:`repro.sim.metrics.RunMetrics.counters`.
+        """
+        if self.site_count == 1:
+            return {}
+        stats = self.commit_protocol.stats
+        return {
+            "prepare_rounds": stats.prepare_rounds,
+            "prepare_messages": stats.prepare_messages,
+            "prepare_acks": stats.prepare_acks,
+            "certifications": stats.certifications,
+            "certification_aborts": stats.certification_aborts,
+            "re_replications": stats.re_replications,
+            "re_replicated_objects": stats.re_replicated_objects,
+            "forced_reports": stats.forced_reports,
         }
 
     # ------------------------------------------------------------------
@@ -553,7 +626,7 @@ class TransactionRouter:
             and sum(graph.mutations for graph in watched_graphs) != mutations_before
         ):
             self.router_stats.cross_site_cycle_checks += 1
-            if self._closes_global_cycle(transaction):
+            if self._cycles.closes_cycle(transaction.gtid):
                 self.router_stats.cross_site_deadlock_aborts += 1
                 self._global_abort(transaction, AbortReason.DEADLOCK, request)
         return request
@@ -589,7 +662,9 @@ class TransactionRouter:
     # Commit
     # ------------------------------------------------------------------
     def commit(self, transaction_id: int) -> TransactionStatus:
-        """Commit at every branch; durable once every branch is durable."""
+        """Commit at every branch; *when* that is durable is the commit
+        protocol's call (one-phase: every branch drained; two-phase:
+        certification plus the replication protocol's write condition)."""
         transaction = self.transaction(transaction_id)
         transaction.require(TransactionStatus.ACTIVE)
         request = transaction.current_request
@@ -602,6 +677,10 @@ class TransactionRouter:
                 f"global transaction {transaction.gtid} has a blocked request "
                 f"on {request.object_name!r}; it cannot commit"
             )
+        return self.commit_protocol.commit(transaction)
+
+    def _live_branches(self, transaction: GlobalTransaction) -> Set[int]:
+        """Sites whose branch of the transaction can still receive a commit."""
         live: Set[int] = set()
         for site_id, branch in transaction.branches.items():
             site = self.sites[site_id]
@@ -611,21 +690,15 @@ class TransactionRouter:
                 and site.scheduler.transactions.get(branch.local_tid) is not None
             ):
                 live.add(site_id)
-        transaction.outstanding = set(live)
-        self.replication.on_commit_fanout(sorted(live))
-        for site_id in sorted(live):
-            branch = transaction.branches[site_id]
-            # A durable local commit fires the relay synchronously and drops
-            # the site from ``outstanding``; a pseudo-commit leaves it in.
-            self.sites[site_id].scheduler.commit(branch.local_tid)
-        if transaction.outstanding:
-            transaction.status = TransactionStatus.PSEUDO_COMMITTED
-            self.router_stats.pseudo_commits += 1
-            for listener in self._listeners:
-                listener.on_pseudo_committed(transaction.gtid)
-            return TransactionStatus.PSEUDO_COMMITTED
-        self._finalize_commit(transaction)
-        return TransactionStatus.COMMITTED
+        return live
+
+    def _record_pseudo_commit(self, transaction: GlobalTransaction) -> TransactionStatus:
+        """The commit is complete for the caller but not yet durable."""
+        transaction.status = TransactionStatus.PSEUDO_COMMITTED
+        self.router_stats.pseudo_commits += 1
+        for listener in self._listeners:
+            listener.on_pseudo_committed(transaction.gtid)
+        return TransactionStatus.PSEUDO_COMMITTED
 
     def _finalize_commit(self, transaction: GlobalTransaction) -> None:
         transaction.status = TransactionStatus.COMMITTED
@@ -688,6 +761,7 @@ class TransactionRouter:
         for site_id, branch in transaction.branches.items():
             self._local_map[site_id].pop(branch.local_tid, None)
         self.replication.on_transaction_finished(transaction)
+        self.commit_protocol.on_transaction_finished(transaction)
         if not self.retain_terminated:
             self.transactions.pop(transaction.gtid, None)
 
@@ -700,10 +774,12 @@ class TransactionRouter:
         Available-copies rule: every global transaction that wrote to the
         site (its uncommitted writes there are gone) or whose in-flight
         operation is blocked there (the queued request is gone) aborts.
-        Completed transactions survive; a pseudo-committed branch that was
-        waiting out its commit dependencies at the failed site is dropped
-        from the outstanding set — its durable commit can no longer be
-        reported, and the surviving replicas carry its effects.
+        Completed transactions survive; what a pseudo-committed branch lost
+        with the site means is the commit protocol's call — one-phase drops
+        it from the outstanding set (its durable commit can no longer be
+        reported, the surviving replicas carry its effects), two-phase
+        keeps the durability requirement and re-replicates under-stamped
+        objects to spare live replicas.
         """
         site = self.sites[site_id]
         if not site.status.is_up:
@@ -716,7 +792,7 @@ class TransactionRouter:
             and transaction.branches[site_id].generation == generation
         ]
         self._local_map[site_id].clear()
-        self._retired_mutations += site.scheduler.graph.mutations
+        self._cycles.retire_graph(site.scheduler.graph.mutations)
         site.fail()
         self.router_stats.site_failures += 1
         self.replication.on_site_failed(site_id)
@@ -724,10 +800,7 @@ class TransactionRouter:
             if transaction.status in (TransactionStatus.ABORTED, TransactionStatus.COMMITTED):
                 continue
             if transaction.status is TransactionStatus.PSEUDO_COMMITTED:
-                if transaction.outstanding is not None:
-                    transaction.outstanding.discard(site_id)
-                    if not transaction.outstanding:
-                        self._finalize_commit(transaction)
+                self.commit_protocol.on_pseudo_branch_lost(transaction, site_id)
                 continue
             request = transaction.current_request
             branch_handle = (
@@ -741,6 +814,10 @@ class TransactionRouter:
                 # Read-only contact with the lost site: the values are already
                 # in hand and other replicas back them; just drop the branch.
                 transaction.branches.pop(site_id, None)
+        # The commit protocol reacts last, with the fallout settled: 2PC
+        # re-replicates under-stamped objects to spare live replicas and
+        # re-checks the commits it is holding for their W stamps.
+        self.commit_protocol.on_site_failed(site_id)
 
     def recover_site(self, site_id: int) -> None:
         """Bring a failed site back up.
@@ -755,6 +832,8 @@ class TransactionRouter:
         scheduler.add_listener(self._relays[site_id])
         self.router_stats.site_recoveries += 1
         self.replication.on_site_recovered(site)
+        # After the catch-up: recovered stamps may satisfy a held 2PC commit.
+        self.commit_protocol.on_site_recovered(site)
 
     # ------------------------------------------------------------------
     # Relay handlers (local scheduler events -> global bookkeeping)
@@ -802,172 +881,29 @@ class TransactionRouter:
         transaction = self.transactions.get(gtid)
         if transaction is None:
             return
-        # The protocol reacts to the durable local commit: available-copies
-        # marks recovering copies the transaction wrote here readable again,
-        # quorum consensus additionally stamps the new copy versions.
+        # The replication protocol reacts to the durable local commit first
+        # (available-copies marks recovering copies the transaction wrote
+        # here readable again, quorum consensus additionally stamps the new
+        # copy versions), then the commit protocol treats it as the
+        # branch's ack and decides whether the global commit is durable.
         self.replication.on_branch_committed(site, transaction)
-        if transaction.outstanding is None:
-            return
-        transaction.outstanding.discard(site.site_id)
-        if (
-            not transaction.outstanding
-            and transaction.status is TransactionStatus.PSEUDO_COMMITTED
-        ):
-            self._finalize_commit(transaction)
+        self.commit_protocol.on_branch_committed(site, transaction)
 
     # ------------------------------------------------------------------
-    # Cross-site cycle detection
+    # Cross-site cycle detection (delegated to the UnionCycleDetector)
     # ------------------------------------------------------------------
-    def _global_successors(self, gtid: int) -> Set[int]:
-        """Union of one transaction's per-site dependency-graph successors."""
-        transaction = self.transactions.get(gtid)
-        if transaction is None:
-            return set()
-        successors: Set[int] = set()
-        for site_id, branch in transaction.branches.items():
-            site = self.sites[site_id]
-            if not site.status.is_up or branch.generation != site.generation:
-                continue
-            local_map = self._local_map[site_id]
-            for local_successor in site.scheduler.graph.successors(branch.local_tid):
-                successor_gtid = local_map.get(local_successor)
-                if successor_gtid is not None and successor_gtid != gtid:
-                    successors.add(successor_gtid)
-        return successors
-
-    def _closes_global_cycle(self, transaction: GlobalTransaction) -> bool:
-        """True when the union graph has a cycle through ``transaction``.
-
-        Per-site graphs are individually acyclic (each site checks before
-        adding edges), so any union cycle necessarily spans sites.  Only
-        cycles through the submitting transaction can have been closed by the
-        operation just routed, so a DFS from it suffices.
-        """
-        target = transaction.gtid
-        stack = list(self._global_successors(target))
-        seen = set(stack)
-        while stack:
-            gtid = stack.pop()
-            if gtid == target:
-                return True
-            for successor in self._global_successors(gtid):
-                if successor == target:
-                    return True
-                if successor not in seen:
-                    seen.add(successor)
-                    stack.append(successor)
-        return False
-
-    def _union_mutations(self) -> int:
-        """Monotonic mutation total of the union graph, crashes included.
-
-        Live graphs' counters plus the final counts of every scheduler a
-        crash discarded — so failing and recovering a site can never return
-        the total to a previously-seen value and mask work from the sweep.
-        """
-        return self._retired_mutations + sum(
-            site.scheduler.graph.mutations
-            for site in self.sites
-            if site.status.is_up
-        )
-
     def sweep_global_cycles(self) -> int:
         """Detect and break union-graph cycles closed outside a submit.
 
-        The per-submit check only covers cycles closed by the operation
-        being routed; a queued request *granted* during another
-        transaction's termination cascade can add commit-dependency edges no
-        submit ever carried, closing a cross-site cycle with nobody
-        submitting — the participants then wedge their mpl slots forever.
-        The simulator runs this sweep periodically from an engine event (a
-        context where aborting is safe: no scheduler callback is on the
-        stack).  Gated on the dependency graphs' mutation counters, a quiet
-        period costs one integer sum.
-
-        A late-closed cycle hurts either way: a wait cycle wedges its
-        members' mpl slots, and a commit-dependency cycle that reaches the
-        commit path drains branch by branch — each site's cascade respects
-        only its *local* edges, so the members durably commit in a circular
-        global order, violating the dependencies the protocol exists to
-        respect.  The sweep catches the cycle while its members are still
-        live and aborts the youngest ``ACTIVE`` one with
-        ``AbortReason.DEADLOCK`` — the same newest-first victim rule as the
-        per-submit check.  Returns the number of victims aborted.
+        Run periodically from an engine event by the simulator; see
+        :meth:`repro.distributed.cycles.UnionCycleDetector.sweep` for the
+        full story.  Returns the number of victims aborted.
         """
-        if self.site_count <= 1:
-            return 0
-        if self._union_mutations() == self._swept_mutations:
-            return 0
-        self.router_stats.cycle_sweeps += 1
-        aborted = 0
-        # One victim per detection pass: aborting a victim can break several
-        # overlapping cycles at once, so victims are never batch-collected
-        # from a stale graph — each abort is followed by a fresh look.
-        while True:
-            victim = self._find_sweep_victim()
-            if victim is None:
-                break
-            self.router_stats.cross_site_deadlock_aborts += 1
-            self._global_abort(self.transactions[victim], AbortReason.DEADLOCK)
-            aborted += 1
-        # Aborting mutates the graphs; snapshot afterwards so the next quiet
-        # sweep is free again.
-        self._swept_mutations = self._union_mutations()
-        return aborted
+        return self._cycles.sweep()
 
-    def _find_sweep_victim(self) -> Optional[int]:
-        """The victim of the first abortable union-graph cycle, or ``None``.
-
-        DFS over the union graph; in the first cycle found that has an
-        ``ACTIVE`` member, the youngest such member is the victim.  Cycles
-        with no abortable member are skipped (see
-        :meth:`sweep_global_cycles`) and the search continues.
-        """
-        color: Dict[int, int] = {}  # 1 = on the DFS path, 2 = finished
-        path: List[int] = []
-        roots = sorted(
-            gtid
-            for gtid, transaction in self.transactions.items()
-            if transaction.status
-            in (TransactionStatus.ACTIVE, TransactionStatus.PSEUDO_COMMITTED)
-        )
-        for root in roots:
-            if root in color:
-                continue
-            color[root] = 1
-            path.append(root)
-            stack = [(root, iter(sorted(self._global_successors(root))))]
-            while stack:
-                node, successors = stack[-1]
-                descended = False
-                for successor in successors:
-                    state = color.get(successor)
-                    if state == 1:
-                        cycle = path[path.index(successor):]
-                        victim = max(
-                            (
-                                gtid
-                                for gtid in cycle
-                                if self.transactions[gtid].status
-                                is TransactionStatus.ACTIVE
-                            ),
-                            default=None,
-                        )
-                        if victim is not None:
-                            return victim
-                    elif state is None:
-                        color[successor] = 1
-                        path.append(successor)
-                        stack.append(
-                            (successor, iter(sorted(self._global_successors(successor))))
-                        )
-                        descended = True
-                        break
-                if not descended:
-                    stack.pop()
-                    path.pop()
-                    color[node] = 2
-        return None
+    def _union_mutations(self) -> int:
+        """Monotonic mutation total of the union graph, crashes included."""
+        return self._cycles.union_mutations()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1003,5 +939,6 @@ class TransactionRouter:
         return (
             f"<TransactionRouter sites={self.site_count} up={up} "
             f"placement={self.placement.name!r} "
-            f"protocol={self.replication.name!r} policy={self.policy}>"
+            f"protocol={self.replication.name!r} "
+            f"commit={self.commit_protocol.name!r} policy={self.policy}>"
         )

@@ -49,8 +49,13 @@ class RunMetrics:
     resource_summary: Tuple[Tuple[str, int], ...] = ()
     #: The router's replication-protocol summary (protocol messages,
     #: failovers, catch-up events, read/write unavailability, cycle
-    #: sweeps), frozen as sorted pairs; empty for single-site runs.
+    #: sweeps, the under-replication window), frozen as sorted pairs;
+    #: empty for single-site runs.
     replication_summary: Tuple[Tuple[str, int], ...] = ()
+    #: The router's commit-protocol summary (prepare rounds/messages/acks,
+    #: certifications and their aborts, re-replication work, forced
+    #: reports), frozen as sorted pairs; empty for single-site runs.
+    commit_summary: Tuple[Tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------
     # The paper's derived metrics
@@ -128,6 +133,10 @@ class RunMetrics:
         # runs contribute nothing, keeping their pinned counter sets closed.
         for name, value in self.replication_summary:
             counters[f"replication_{name}"] = value
+        # Commit-protocol overhead (prepare traffic, certification,
+        # re-replication) likewise; empty for single-site runs.
+        for name, value in self.commit_summary:
+            counters[f"commit_{name}"] = value
         return counters
 
     def as_dict(self) -> Dict[str, float]:
@@ -161,6 +170,7 @@ class MetricsCollector:
         self._scheduler_snapshot: Dict[str, int] = {}
         self._resource_snapshot: Dict[str, int] = {}
         self._replication_snapshot: Dict[str, int] = {}
+        self._commit_snapshot: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def begin_measurement(
@@ -169,6 +179,7 @@ class MetricsCollector:
         scheduler_stats,
         resource_summary: Optional[Mapping[str, object]] = None,
         replication_summary: Optional[Mapping[str, int]] = None,
+        commit_summary: Optional[Mapping[str, int]] = None,
     ) -> None:
         """Start (or restart) the measurement window at simulated time ``now``."""
         self.started_at = now
@@ -187,6 +198,7 @@ class MetricsCollector:
             if isinstance(value, int)
         }
         self._replication_snapshot = dict(replication_summary or {})
+        self._commit_snapshot = dict(commit_summary or {})
         self._scheduler_snapshot = {
             "blocks": scheduler_stats.blocks,
             "cycle_checks": scheduler_stats.cycle_checks,
@@ -216,6 +228,7 @@ class MetricsCollector:
         events_processed: int,
         resource_summary: Optional[Mapping[str, object]] = None,
         replication_summary: Optional[Mapping[str, int]] = None,
+        commit_summary: Optional[Mapping[str, int]] = None,
     ) -> RunMetrics:
         """Produce the immutable :class:`RunMetrics` for the window."""
         snapshot = self._scheduler_snapshot or {
@@ -251,6 +264,12 @@ class MetricsCollector:
                 sorted(
                     (name, value - self._replication_snapshot.get(name, 0))
                     for name, value in (replication_summary or {}).items()
+                )
+            ),
+            commit_summary=tuple(
+                sorted(
+                    (name, value - self._commit_snapshot.get(name, 0))
+                    for name, value in (commit_summary or {}).items()
                 )
             ),
         )

@@ -108,6 +108,17 @@ class SimulationParameters:
     #: each to a majority of the copy count.
     quorum_read: Optional[int] = None
     quorum_write: Optional[int] = None
+    #: When a distributed commit may report durable: ``"one-phase"`` (one
+    #: commit fan-out, durable once every branch drained; a branch lost
+    #: with its site is dropped) or ``"two-phase"`` (commit-time cycle
+    #: certification, durability only at the replication protocol's write
+    #: condition — ``W`` live stamped copies under quorum — and
+    #: failure-triggered re-replication of under-stamped objects).
+    commit_protocol: str = "one-phase"
+    #: Upper bound, in simulated seconds, on how long a two-phase commit
+    #: may stay held below its W-stamp condition before being force-reported
+    #: (``None``: wait indefinitely — never report under-replicated).
+    prepare_timeout: Optional[float] = None
     #: Scripted site crashes and recoveries: ``(time, action, site_id)``
     #: entries with ``action`` in {"fail", "recover"}, executed as simulation
     #: events at the given simulated times.
@@ -186,6 +197,17 @@ class SimulationParameters:
                 "replication_protocol must be one of 'available-copies', "
                 "'quorum', 'primary-copy'"
             )
+        if self.commit_protocol not in ("one-phase", "two-phase"):
+            raise SimulationError(
+                "commit_protocol must be one of 'one-phase', 'two-phase'"
+            )
+        if self.prepare_timeout is not None:
+            if self.commit_protocol != "two-phase":
+                raise SimulationError(
+                    "prepare_timeout requires commit_protocol='two-phase'"
+                )
+            if self.prepare_timeout <= 0:
+                raise SimulationError("prepare_timeout must be positive")
         if self.quorum_read is not None or self.quorum_write is not None:
             if self.replication_protocol != "quorum":
                 raise SimulationError(

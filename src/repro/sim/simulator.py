@@ -19,6 +19,11 @@ One :class:`Simulation` object models the whole system of the paper's Figure 3:
 * a periodic union-graph sweep (multi-site runs only) that detects and
   breaks cross-site cycles closed during termination cascades, which the
   per-submit check cannot see;
+* a pluggable commit protocol (``commit_protocol``) deciding when a
+  distributed commit reports durable: the one-shot fan-out baseline, or
+  2PC with commit-time cycle certification, W-ack durability under quorum
+  replication, failure-triggered re-replication and an optional
+  ``prepare_timeout``;
 * a resource phase per executed operation (constant ``step_time`` under
   infinite resources; CPU then disk queueing under finite resources),
   charged through the router to one shared global pool or to the domains
@@ -130,8 +135,13 @@ class Simulation(SchedulerListener):
             replication_protocol=params.replication_protocol,
             quorum_read=params.quorum_read,
             quorum_write=params.quorum_write,
+            commit_protocol=params.commit_protocol,
+            prepare_timeout=params.prepare_timeout,
         )
         self.router.add_listener(self)
+        # The commit protocol may need to schedule future work (the
+        # two-phase prepare timeout); hand it the engine's clock.
+        self.router.commit_protocol.attach_clock(self.engine.schedule)
         self.workload.register_objects(self.router)
         # The hardware: one shared pool (the paper's model) or one domain
         # per site, per ``params.resource_placement``.  The router owns the
@@ -164,6 +174,7 @@ class Simulation(SchedulerListener):
             self.router.stats,
             self.resources.utilisation_summary(),
             self.router.replication_summary(),
+            self.router.commit_summary(),
         )
         self._schedule_site_events()
         self._schedule_cycle_sweep()
@@ -178,6 +189,7 @@ class Simulation(SchedulerListener):
             self.engine.events_processed,
             resource_summary=self.resources.utilisation_summary(),
             replication_summary=self.router.replication_summary(),
+            commit_summary=self.router.commit_summary(),
         )
 
     def _schedule_site_events(self) -> None:
@@ -333,6 +345,11 @@ class Simulation(SchedulerListener):
     def _complete(self, transaction: LogicalTransaction) -> None:
         assert transaction.scheduler_tid is not None
         status = self.router.commit(transaction.scheduler_tid)
+        if status is TransactionStatus.ABORTED:
+            # Two-phase certification found a dependency cycle and the
+            # committing transaction was the victim: its on_aborted callback
+            # already scheduled the restart; this attempt never completed.
+            return
         transaction.completed = True
         transaction.completion_time = self.engine.now
         self.completions += 1
@@ -364,6 +381,7 @@ class Simulation(SchedulerListener):
                 self.router.stats,
                 self.resources.utilisation_summary(),
                 self.router.replication_summary(),
+                self.router.commit_summary(),
             )
 
     # ------------------------------------------------------------------

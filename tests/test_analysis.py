@@ -155,13 +155,14 @@ class TestFigureRegistry:
     def test_all_figures_are_registered(self):
         ids = all_figure_ids()
         # The paper's 15 figures plus the strict-2PL baseline and the
-        # multi-site router, read-scaling and replication-protocol
-        # experiments.
-        assert len(ids) == 19
+        # multi-site router, read-scaling, replication-protocol and
+        # commit-protocol experiments.
+        assert len(ids) == 20
         assert "figure-4-2pl" in ids
         assert "figure-4-sites" in ids
         assert "figure-4-sites-scaling" in ids
         assert "figure-4-protocols" in ids
+        assert "figure-4-commit" in ids
         assert ids[0] == "figure-4" and ids[-1] == "figure-18"
 
     def test_every_figure_spec_builds_and_validates(self):

@@ -81,7 +81,7 @@ class TestPublicApi:
         import repro.sim
 
         assert repro.adts.paper_types() == ["page", "stack", "set", "table"]
-        assert len(repro.analysis.all_figure_ids()) == 19
+        assert len(repro.analysis.all_figure_ids()) == 20
         assert repro.sim.SimulationParameters().database_size == 1000
         assert repro.distributed.TransactionRouter().site_count == 1
 

@@ -23,8 +23,11 @@ under per-site placement, plus network messages when a ``msg_time`` cost is
 modelled), so resource saturation is visible in the perf trajectory.
 Multi-site points additionally carry the ``replication_*`` counters
 (protocol messages, failovers, catch-up events, read/write unavailability,
-cycle sweeps), so each protocol's coordination overhead is tracked per PR —
-``figure-4-protocols`` is the experiment built around them.  Every value
+cycle sweeps, the under-replication window) and the ``commit_*`` counters
+(prepare rounds/messages/acks, certifications and their aborts,
+re-replication work, forced reports), so each protocol's coordination
+overhead is tracked per PR — ``figure-4-protocols`` and
+``figure-4-commit`` are the experiments built around them.  Every value
 derives only from ``(parameters, seed)``; nothing here measures the host
 machine.
 """
