@@ -5,7 +5,7 @@ the qualitative shape the paper reports.  See ``benchmarks/conftest.py`` for
 the scale knob and ``EXPERIMENTS.md`` for paper-vs-measured notes.
 """
 
-from .conftest import assert_shape_pr_ordering, assert_shape_recoverability_wins
+from .conftest import assert_shape_pr_ordering
 
 
 def test_figure_17(run_figure):

@@ -7,7 +7,6 @@ declared tables are sound — they never admit a pair the semantics rejects —
 and, for stack/set/table, identical to the derivation.
 """
 
-import pytest
 
 from repro.analysis import compare_tables, parameter_table
 

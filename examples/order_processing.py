@@ -17,7 +17,7 @@ Run with (after ``pip install -e .`` from the repository root)::
     python examples/order_processing.py
 """
 
-from repro import ConflictPolicy, Scheduler, TransactionStatus
+from repro import ConflictPolicy, Scheduler
 from repro.adts import QueueType, SetType, TableType
 
 

@@ -10,7 +10,7 @@ to hold the committed state of each object.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any
 
 from ..core.compatibility import CompatibilitySpec
 from ..core.specification import Invocation, OperationResult, TypeSpecification

@@ -8,7 +8,7 @@ that the scheduler and derivation machinery can find them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, List
 
 from ..core.errors import SpecificationError
 from .base import AtomicType

@@ -19,7 +19,7 @@ that commutativity cannot.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Sequence, Tuple
 
 from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
 from ..core.specification import Invocation, OperationResult, OperationSpec

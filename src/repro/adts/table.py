@@ -27,7 +27,7 @@ same parameter even though their argument tuples differ.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Mapping, Sequence, Tuple
+from typing import Any, Dict, Hashable, Sequence, Tuple
 
 from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
 from ..core.specification import Invocation, OperationResult, OperationSpec

@@ -10,7 +10,7 @@ relative improvement), which is what EXPERIMENTS.md records as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from .experiments import ExperimentResult
 

@@ -22,10 +22,10 @@ live in :class:`~repro.sim.params.SimulationParameters`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..adts import get_type, paper_types
-from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
+from ..core.compatibility import Answer, CompatibilitySpec
 from ..core.derivation import derive_compatibility
 from ..sim.params import SimulationParameters
 

@@ -89,6 +89,21 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--output", type=pathlib.Path, default=None,
                         help="directory to save the report into")
 
+    lint = subparsers.add_parser(
+        "lint", help="run the repo's determinism/conformance static analyzer"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable output (per-rule counts + violations)",
+    )
+
     simulate = subparsers.add_parser("simulate", help="run a single simulation point")
     simulate.add_argument("--workload", choices=["readwrite", "adt"], default="readwrite")
     simulate.add_argument("--policy", choices=sorted(_POLICIES), default="recoverability")
@@ -242,6 +257,22 @@ def _parse_site_units(text: Optional[str], site_count: int, error):
     return units
 
 
+def _command_lint(paths, as_json: bool, out) -> int:
+    """Run the REP static analyzer; exit 1 when violations remain."""
+    from .lint import lint_paths, render_json, render_text
+    from .lint.runner import collect_files
+
+    if not paths:
+        # Default target: the installed repro package tree itself.
+        paths = [str(pathlib.Path(__file__).resolve().parent)]
+    violations = lint_paths(paths)
+    if as_json:
+        out.write(render_json(violations, checked_files=len(collect_files(paths))))
+    else:
+        out.write(render_text(violations))
+    return 1 if violations else 0
+
+
 def _command_simulate(arguments, out, error) -> int:
     replication = arguments.replication
     if replication is None:
@@ -295,6 +326,14 @@ def _command_simulate(arguments, out, error) -> int:
                 # fully self-describing (the schedule shapes every counter
                 # below; re-running without it would not reproduce them).
                 "failure_schedule": [list(event) for event in params.failure_schedule],
+                # Router-level transaction accounting (global ids; per-site
+                # scheduler counters are aggregated separately in the
+                # metrics block above).
+                "begins": router_stats.begins,
+                "commits": router_stats.commits,
+                "pseudo_commits": router_stats.pseudo_commits,
+                "aborts": router_stats.aborts,
+                "cross_site_cycle_checks": router_stats.cross_site_cycle_checks,
                 "failures": router_stats.site_failures,
                 "recoveries": router_stats.site_recoveries,
                 "site_failure_aborts": router_stats.site_failure_aborts,
@@ -325,6 +364,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_tables(arguments.type_name, out)
     if arguments.command == "figure":
         return _command_figure(arguments.figure_id, arguments.scale, arguments.output, out)
+    if arguments.command == "lint":
+        return _command_lint(arguments.paths, arguments.as_json, out)
     if arguments.command == "simulate":
         return _command_simulate(arguments, out, parser.error)
     return 2  # pragma: no cover - argparse enforces the choices above

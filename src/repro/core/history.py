@@ -12,8 +12,8 @@ it easy to replay the example sequences (1)-(3) from Section 3.2.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .specification import Event, Invocation
 

@@ -17,10 +17,9 @@ sound log and needs no type-specific undo code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set
 
 from .compatibility import CompatibilitySpec, ConflictClass
-from .errors import SpecificationError
 from .policy import ConflictPolicy, effective_class
 from .specification import Event, Invocation, TypeSpecification
 

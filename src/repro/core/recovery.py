@@ -27,10 +27,10 @@ example illustrates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional
 
 from .errors import RecoveryError
-from .specification import Invocation, OperationResult, TypeSpecification
+from .specification import Invocation, TypeSpecification
 
 __all__ = ["IntentionEntry", "IntentionsList", "UndoEntry", "UndoLog"]
 

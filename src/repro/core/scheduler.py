@@ -113,6 +113,29 @@ class SchedulerStatistics:
             return 0.0
         return self.abort_length_total / self.aborts
 
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter by name.
+
+        The explicit field list (rather than ``dataclasses.asdict``) is what
+        ``repro lint`` REP006 checks: a counter incremented somewhere but
+        missing here would be silently lost from the measurement snapshot.
+        """
+        return {
+            "operations_executed": self.operations_executed,
+            "blocks": self.blocks,
+            "commits": self.commits,
+            "pseudo_commits": self.pseudo_commits,
+            "aborts": self.aborts,
+            "deadlock_aborts": self.deadlock_aborts,
+            "dependency_cycle_aborts": self.dependency_cycle_aborts,
+            "user_aborts": self.user_aborts,
+            "site_aborts": self.site_aborts,
+            "cycle_checks": self.cycle_checks,
+            "abort_length_total": self.abort_length_total,
+            "commit_dependency_edges": self.commit_dependency_edges,
+            "wait_for_edges": self.wait_for_edges,
+        }
+
 
 class Scheduler:
     """Concurrency control over a set of shared objects.

@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .compatibility import CompatibilitySpec, ConflictClass
 from .dependency_graph import DependencyGraph, EdgeKind
 from .errors import SpecificationError
-from .history import ExecutionLog, RecordKind
-from .specification import Event, Invocation, TypeSpecification
+from .history import ExecutionLog
+from .specification import Event, TypeSpecification
 
 __all__ = [
     "ObjectUniverse",

@@ -25,7 +25,7 @@ Two further pieces of vocabulary come from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from .errors import TransactionStateError
 from .specification import Event, Invocation

@@ -51,6 +51,13 @@ from .router import (
 )
 from .site import Site, SiteStatus
 
+# The simulator obtains its router through the seam in
+# :mod:`repro.sim.routing` so that ``repro.sim`` never imports this package
+# (the REP004 layering rule); installing the constructor here closes the loop.
+from ..sim.routing import register_router_factory
+
+register_router_factory(TransactionRouter)
+
 __all__ = [
     "AvailableCopies",
     "BranchRef",

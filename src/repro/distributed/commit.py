@@ -444,7 +444,7 @@ class TwoPhase(CommitProtocol):
     def _awaiting_objects(self) -> Sequence[str]:
         """Union of the held commits' written objects, sorted."""
         names: Set[str] = set()
-        for gtid in self._awaiting:
+        for gtid in sorted(self._awaiting):
             held = self.router.transactions.get(gtid)
             if held is not None:
                 names.update(held.written_objects())

@@ -70,7 +70,7 @@ class UnionCycleDetector:
             if not site.status.is_up or branch.generation != site.generation:
                 continue
             local_map = router._local_map[site_id]
-            for local_successor in site.scheduler.graph.successors(branch.local_tid):
+            for local_successor in sorted(site.scheduler.graph.successors(branch.local_tid)):
                 successor_gtid = local_map.get(local_successor)
                 if successor_gtid is not None and successor_gtid != gtid:
                     successors.add(successor_gtid)
@@ -82,13 +82,13 @@ class UnionCycleDetector:
         Only cycles through the submitting transaction can have been closed
         by the operation just routed, so a DFS from it suffices.
         """
-        stack = list(self.global_successors(gtid))
+        stack = sorted(self.global_successors(gtid))
         seen = set(stack)
         while stack:
             node = stack.pop()
             if node == gtid:
                 return True
-            for successor in self.global_successors(node):
+            for successor in sorted(self.global_successors(node)):
                 if successor == gtid:
                     return True
                 if successor not in seen:

@@ -338,7 +338,7 @@ class _VersionedCatchUp(ReplicationProtocol):
 
     def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
         written = transaction.written_objects()
-        for name in written:
+        for name in sorted(written):
             self._commit_targets.pop((transaction.gtid, name), None)
         # The finished transaction may have been the in-flight write that
         # deferred a recovered copy's readability (see _refresh_copies):

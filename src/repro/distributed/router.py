@@ -63,7 +63,7 @@ centralized scheduler's decision stream bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Union
 
 from ..core.compatibility import CompatibilitySpec
 from ..core.errors import (
@@ -82,6 +82,10 @@ from .cycles import UnionCycleDetector
 from .placement import PlacementPolicy, make_placement
 from .replication import ReplicationProtocol, make_replication_protocol
 from .site import Site, _fold_stats
+
+if TYPE_CHECKING:
+    from ..core.backends import ConcurrencyControlBackend
+    from ..sim.resources import ResourceCharger
 
 __all__ = [
     "BranchRef",
@@ -278,16 +282,16 @@ class TransactionRouter:
     def __init__(
         self,
         site_count: int = 1,
-        replication: str = "single",
+        replication: Union[str, PlacementPolicy] = "single",
         policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY,
         fair: bool = True,
         record_history: bool = False,
         retain_terminated: bool = True,
-        backend_factory=None,
-        replication_protocol: str = "available-copies",
+        backend_factory: Optional[Callable[[], "ConcurrencyControlBackend"]] = None,
+        replication_protocol: Union[str, ReplicationProtocol] = "available-copies",
         quorum_read: Optional[int] = None,
         quorum_write: Optional[int] = None,
-        commit_protocol: str = "one-phase",
+        commit_protocol: Union[str, CommitProtocol] = "one-phase",
         prepare_timeout: Optional[float] = None,
     ):
         if isinstance(replication, PlacementPolicy):
@@ -350,7 +354,7 @@ class TransactionRouter:
         #: (a :class:`~repro.sim.resources.ResourceCharger`); ``None`` until
         #: a simulation attaches one — the router's protocol decisions never
         #: depend on it, only the timing of the physical phase does.
-        self._charger = None
+        self._charger: Optional["ResourceCharger"] = None
         #: All union-graph cycle checks — the per-submit check, the periodic
         #: sweep and the commit-time certification — plus the sweep's
         #: monotonic mutation gate (see :mod:`repro.distributed.cycles`).
@@ -385,7 +389,7 @@ class TransactionRouter:
         """Subscribe a listener to *global* transaction events."""
         self._listeners.append(listener)
 
-    def attach_resources(self, charger) -> None:
+    def attach_resources(self, charger: "ResourceCharger") -> None:
         """Wire up the hardware granted operations are charged to.
 
         ``charger`` is a :class:`~repro.sim.resources.ResourceCharger`; a
@@ -407,7 +411,7 @@ class TransactionRouter:
     # ------------------------------------------------------------------
     # Resource charging (the physical phase of a granted operation)
     # ------------------------------------------------------------------
-    def perform_step(self, transaction_id: int, done) -> None:
+    def perform_step(self, transaction_id: int, done: Callable[[], None]) -> None:
         """Charge the transaction's in-flight granted operation.
 
         Delegates to the attached charger with the sites whose replicas

@@ -29,7 +29,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import enum
-from typing import Any, Dict, Iterable, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional, Set
 
 from ..core.backends import ConcurrencyControlBackend, make_backend
 from ..core.errors import ReproError
@@ -37,6 +37,9 @@ from ..core.policy import ConflictPolicy
 from ..core.scheduler import Scheduler, SchedulerStatistics
 from ..core.specification import TypeSpecification
 from ..core.compatibility import CompatibilitySpec
+
+if TYPE_CHECKING:
+    from ..sim.resources import ResourceDomain
 
 __all__ = ["SiteStatus", "Site"]
 
@@ -79,7 +82,7 @@ class Site:
         fair: bool = True,
         record_history: bool = False,
         retain_terminated: bool = False,
-        backend_factory=None,
+        backend_factory: Optional[Callable[[], ConcurrencyControlBackend]] = None,
     ):
         self.site_id = site_id
         self.policy = policy
@@ -94,7 +97,7 @@ class Site:
         #: system charges one shared global pool.  Hardware is physical, so
         #: it survives :meth:`fail`/:meth:`recover` — a crash loses volatile
         #: scheduler state, not the machines.
-        self.domain = None
+        self.domain: Optional["ResourceDomain"] = None
         #: Incremented on every crash; a (local tid, generation) pair uniquely
         #: identifies a transaction branch across scheduler replacements.
         self.generation = 0
@@ -228,7 +231,7 @@ class Site:
     # ------------------------------------------------------------------
     # Resources
     # ------------------------------------------------------------------
-    def attach_domain(self, domain) -> None:
+    def attach_domain(self, domain: "ResourceDomain") -> None:
         """Give this site its own hardware (per-site resource placement)."""
         self.domain = domain
 

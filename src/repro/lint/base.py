@@ -1,0 +1,166 @@
+"""Shared infrastructure for the ``repro lint`` static analyzer.
+
+The analyzer is deliberately repo-specific: its rules encode the invariants
+this reproduction's determinism and protocol seams depend on (see the REP
+rule modules under :mod:`repro.lint.rules`).  Everything works on plain
+:mod:`ast` trees — no third-party dependencies — so the linter runs anywhere
+the package itself runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "module_name_for_path",
+    "module_layer",
+]
+
+#: ``# repro-lint: disable=REP001,REP002`` suppresses the named rules on the
+#: line carrying the pragma; a bare ``# repro-lint: disable`` suppresses all.
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path, anchored at the ``repro`` package.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``src/repro/sim/__init__.py`` → ``repro.sim``.  Paths outside the package
+    (tests, fixtures) fall back to their stem, which keeps them out of the
+    layer map.
+    """
+    parts = re.split(r"[\\/]", path)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro") :])
+    return parts[-1] if parts else path
+
+
+def module_layer(module: str) -> Optional[str]:
+    """The layering-rule layer of a module (None when unlayered).
+
+    ``repro.core`` and ``repro.adts`` form the bottom layer, ``repro.sim``
+    sits above them, ``repro.distributed`` above that; other modules
+    (``repro.cli``, ``repro.analysis``, ``repro.lint``, tests) are unlayered
+    and may import anything.
+    """
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != "repro":
+        return None
+    second = parts[1]
+    if second in ("core", "adts"):
+        return "core"
+    if second in ("sim", "distributed"):
+        return second
+    return None
+
+
+class SourceFile:
+    """One parsed file plus its suppression pragmas."""
+
+    def __init__(self, path: str, text: str, module: Optional[str] = None):
+        self.path = path
+        self.text = text
+        self.module = module if module is not None else module_name_for_path(path)
+        #: Package ``__init__`` files resolve ``from .`` against themselves,
+        #: plain modules against their parent package (see REP004).
+        self.is_package = path.replace("\\", "/").endswith("/__init__.py")
+        self.tree = ast.parse(text, filename=path)
+        #: line number → set of disabled rule ids (empty set = all rules).
+        self.disabled: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            names = match.group(1)
+            if names is None:
+                self.disabled[lineno] = set()
+            else:
+                self.disabled[lineno] = {
+                    part.strip().upper() for part in names.split(",") if part.strip()
+                }
+
+    def allows(self, violation: Violation) -> bool:
+        """False when a pragma on the violation's line disables its rule."""
+        rules = self.disabled.get(violation.line)
+        if rules is None:
+            return True
+        return bool(rules) and violation.rule not in rules
+
+
+class Project:
+    """The set of files one lint run analyzes, with lookup helpers."""
+
+    def __init__(self, files: Sequence[SourceFile]):
+        self.files = list(files)
+        self._by_module = {f.module: f for f in self.files}
+
+    def module(self, name: str) -> Optional[SourceFile]:
+        return self._by_module.get(name)
+
+    def walk(self) -> Iterator[Tuple[SourceFile, ast.AST]]:
+        """Every node of every file, paired with its file."""
+        for source in self.files:
+            for node in ast.walk(source.tree):
+                yield source, node
+
+
+class Rule:
+    """Base class: one registered REP rule."""
+
+    id: str = "REP000"
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by several rules
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    @staticmethod
+    def raises_not_implemented(function: ast.AST) -> bool:
+        """True when the function body raises NotImplementedError."""
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id == "NotImplementedError":
+                return True
+        return False

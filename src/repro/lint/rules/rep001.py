@@ -1,0 +1,55 @@
+"""REP001 — all randomness flows through :class:`repro.sim.random_source`.
+
+The equivalence tests pin crc32-derived random streams; a stray
+``random.random()`` (or ``secrets`` draw) anywhere else makes a run depend on
+state the ``(parameters, seed)`` pair does not capture.  Only
+``repro/sim/random_source.py`` may import the stdlib generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Project, Rule, Violation
+
+__all__ = ["Rep001RandomSource"]
+
+_FORBIDDEN = {"random", "secrets"}
+_ALLOWED_MODULE = "repro.sim.random_source"
+
+
+class Rep001RandomSource(Rule):
+    id = "REP001"
+    summary = "random/secrets used outside sim/random_source.py"
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for source in project.files:
+            if source.module == _ALLOWED_MODULE:
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _FORBIDDEN:
+                        yield self._violation(source, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    root = node.module.split(".")[0]
+                    if root in _FORBIDDEN:
+                        yield self._violation(source, node, node.module)
+
+    def _violation(self, source, node: ast.stmt, name: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=source.path,
+            line=node.lineno,
+            message=(
+                f"import of '{name}': stochastic draws must go through "
+                "RandomSource (repro/sim/random_source.py) so streams stay "
+                "pinnable"
+            ),
+        )

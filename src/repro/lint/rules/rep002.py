@@ -1,0 +1,212 @@
+"""REP002 — no iteration over unordered collections in sim/distributed.
+
+Python sets iterate in hash order, which for strings varies with
+``PYTHONHASHSEED`` — so a ``for`` loop over a bare set inside event
+scheduling, replica selection or victim choice silently breaks run-to-run
+reproducibility.  Inside ``repro.sim`` and ``repro.distributed`` every
+iteration over a set-valued expression (or an explicit ``dict.keys()`` call)
+must go through ``sorted()`` or an explicitly ordered structure.
+
+Detection is intentionally conservative but cross-file aware: the rule
+indexes every function whose return annotation is ``Set``/``FrozenSet`` and
+every attribute annotated as a set anywhere in the analyzed tree, then flags
+``for``/comprehension iteration whose iterable is
+
+* a set literal / set comprehension,
+* a ``set()`` / ``frozenset()`` call or a set-operator expression
+  (``|``, ``&``, ``-``, ``^`` over sets; ``.union()`` etc.),
+* a call to an indexed set-returning function,
+* an attribute or local variable known to hold a set,
+* a direct ``.keys()`` call.
+
+Wrapping the iterable in ``sorted(...)`` resolves the violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from ..base import Project, Rule, SourceFile, Violation, module_layer
+
+__all__ = ["Rep002UnorderedIteration"]
+
+_SET_TYPE_NAMES = {"Set", "FrozenSet", "MutableSet", "AbstractSet", "set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    """True when an annotation names a set type (plain or subscripted)."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in _SET_TYPE_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _is_set_annotation(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+class _SetIndex:
+    """Names known — project-wide — to denote set values."""
+
+    def __init__(self, project: Project):
+        #: function/method names whose return annotation is a set type.
+        self.set_returning: Set[str] = set()
+        #: attribute names annotated (or initialised) as sets.
+        self.set_attributes: Set[str] = set()
+        for _, node in project.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_set_annotation(node.returns):
+                    self.set_returning.add(node.name)
+            elif isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+                target = node.target
+                if isinstance(target, ast.Attribute):
+                    self.set_attributes.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    # Class-level dataclass fields become instance attributes.
+                    self.set_attributes.add(target.id)
+
+
+class _FunctionScope(ast.NodeVisitor):
+    """Walks one function (or module) body tracking set-valued locals."""
+
+    def __init__(self, rule: "Rep002UnorderedIteration", source: SourceFile, index: _SetIndex):
+        self.rule = rule
+        self.source = source
+        self.index = index
+        self.set_locals: Set[str] = set()
+        self.violations: List[Violation] = []
+
+    # -- assignments feed the local set-tracking ------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_locals.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and (
+            _is_set_annotation(node.annotation)
+            or (node.value is not None and self._is_set_expr(node.value))
+        ):
+            self.set_locals.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- nested functions get their own scope ---------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.rule.check_scope(self.source, self.index, node, self.violations)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.rule.check_scope(self.source, self.index, node, self.violations)
+
+    # -- iteration contexts ---------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set *from* a set is order-insensitive by construction.
+        self.generic_visit(node)
+
+    # -- classification --------------------------------------------------
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        reason = self._unordered_reason(iterable)
+        if reason is not None:
+            self.violations.append(
+                Violation(
+                    rule=self.rule.id,
+                    path=self.source.path,
+                    line=getattr(iterable, "lineno", 1),
+                    message=(
+                        f"iteration over {reason}: wrap in sorted() or use an "
+                        "ordered structure (set order feeds scheduling / "
+                        "replica / victim decisions)"
+                    ),
+                )
+            )
+
+    def _unordered_reason(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            if self._is_set_expr(node.left) or self._is_set_expr(node.right):
+                return "a set-operator expression"
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return f"a {func.id}() value"
+                if func.id in self.index.set_returning:
+                    return f"the set returned by {func.id}()"
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "keys":
+                    return "dict.keys()"
+                if func.attr in _SET_METHODS:
+                    return f"a .{func.attr}() result"
+                if func.attr in self.index.set_returning:
+                    return f"the set returned by .{func.attr}()"
+            return None
+        if isinstance(node, ast.Name) and node.id in self.set_locals:
+            return f"set-valued local '{node.id}'"
+        if isinstance(node, ast.Attribute) and node.attr in self.index.set_attributes:
+            return f"set-valued attribute '.{node.attr}'"
+        return None
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        return self._unordered_reason(node) is not None
+
+
+class Rep002UnorderedIteration(Rule):
+    id = "REP002"
+    summary = "iteration over an unordered set/dict-keys value"
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        index = _SetIndex(project)
+        violations: List[Violation] = []
+        for source in project.files:
+            if module_layer(source.module) not in ("sim", "distributed"):
+                continue
+            self.check_scope(source, index, source.tree, violations)
+        return violations
+
+    def check_scope(
+        self,
+        source: SourceFile,
+        index: _SetIndex,
+        scope: ast.AST,
+        violations: List[Violation],
+    ) -> None:
+        """Lint one function/module scope (recursing into nested scopes)."""
+        visitor = _FunctionScope(self, source, index)
+        # Parameters annotated as sets count as set-valued locals.
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in list(scope.args.args) + list(scope.args.kwonlyargs):
+                if _is_set_annotation(arg.annotation):
+                    visitor.set_locals.add(arg.arg)
+            for statement in scope.body:
+                visitor.visit(statement)
+        else:
+            for statement in scope.body:  # type: ignore[attr-defined]
+                visitor.visit(statement)
+        violations.extend(visitor.violations)

@@ -1,0 +1,81 @@
+"""REP003 — no wall-clock time inside ``repro`` outside the reporting layer.
+
+Simulated time comes from the event engine; reading the host clock inside
+the model would couple results to the machine running them.  The analysis /
+reporting layer (``repro.analysis``) may time real-world work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from ..base import Project, Rule, Violation
+
+__all__ = ["Rep003WallClock"]
+
+#: ``time.<attr>`` accessors that read the host clock.
+_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+#: ``datetime.<attr>`` / ``date.<attr>`` constructors that read the clock.
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: Modules exempt from the rule (real-world reporting may be timed).
+_EXEMPT_PREFIXES = ("repro.analysis",)
+
+
+class Rep003WallClock(Rule):
+    id = "REP003"
+    summary = "wall-clock access inside the deterministic layers"
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for source in project.files:
+            if not source.module.startswith("repro."):
+                continue
+            if source.module.startswith(_EXEMPT_PREFIXES):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source) -> Iterator[Violation]:
+        #: local names bound to clock functions by ``from time import ...``.
+        imported_clocks: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_ATTRS:
+                        imported_clocks.add(alias.asname or alias.name)
+                        yield self._violation(source, node, f"time.{alias.name}")
+            elif isinstance(node, ast.Attribute):
+                owner = node.value
+                if isinstance(owner, ast.Name):
+                    if owner.id == "time" and node.attr in _TIME_ATTRS:
+                        yield self._violation(source, node, f"time.{node.attr}")
+                    elif owner.id in ("datetime", "date") and node.attr in _DATETIME_ATTRS:
+                        yield self._violation(source, node, f"{owner.id}.{node.attr}")
+                elif (
+                    isinstance(owner, ast.Attribute)
+                    and owner.attr in ("datetime", "date")
+                    and node.attr in _DATETIME_ATTRS
+                ):
+                    yield self._violation(source, node, f"{owner.attr}.{node.attr}")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in imported_clocks:
+                    yield self._violation(source, node, node.func.id)
+
+    def _violation(self, source, node: ast.AST, name: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            message=(
+                f"wall-clock access '{name}': simulated time comes from the "
+                "event engine; only repro.analysis may read the host clock"
+            ),
+        )

@@ -20,8 +20,10 @@ value at the end of the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.scheduler import SchedulerStatistics
 
 __all__ = ["RunMetrics", "MetricsCollector"]
 
@@ -176,7 +178,7 @@ class MetricsCollector:
     def begin_measurement(
         self,
         now: float,
-        scheduler_stats,
+        scheduler_stats: SchedulerStatistics,
         resource_summary: Optional[Mapping[str, object]] = None,
         replication_summary: Optional[Mapping[str, int]] = None,
         commit_summary: Optional[Mapping[str, int]] = None,
@@ -199,13 +201,10 @@ class MetricsCollector:
         }
         self._replication_snapshot = dict(replication_summary or {})
         self._commit_snapshot = dict(commit_summary or {})
-        self._scheduler_snapshot = {
-            "blocks": scheduler_stats.blocks,
-            "cycle_checks": scheduler_stats.cycle_checks,
-            "aborts": scheduler_stats.aborts,
-            "abort_length_total": scheduler_stats.abort_length_total,
-            "commit_dependency_edges": scheduler_stats.commit_dependency_edges,
-        }
+        # Snapshot *every* scheduler counter, not just the ones freeze()
+        # subtracts today, so adding a counter to the window later cannot
+        # silently measure warm-up work.
+        self._scheduler_snapshot = scheduler_stats.as_dict()
 
     def record_completion(self, response_time: float, pseudo: bool) -> None:
         """Record one user-visible completion."""
@@ -224,7 +223,7 @@ class MetricsCollector:
     def freeze(
         self,
         now: float,
-        scheduler_stats,
+        scheduler_stats: SchedulerStatistics,
         events_processed: int,
         resource_summary: Optional[Mapping[str, object]] = None,
         replication_summary: Optional[Mapping[str, int]] = None,

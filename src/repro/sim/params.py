@@ -16,7 +16,7 @@ remain one assignment away.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.errors import SimulationError

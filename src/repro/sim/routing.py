@@ -1,0 +1,41 @@
+"""The router seam between the simulator and the multi-site layer.
+
+Layering rule (enforced by ``repro lint`` as REP004): :mod:`repro.sim` never
+imports :mod:`repro.distributed`.  The simulator still needs a
+``TransactionRouter``, so the dependency is inverted — the distributed
+package registers its router constructor here when it is imported (which
+importing :mod:`repro` always does), and the simulator asks this module to
+build one.  The registry holds a single factory: the router *implementation*
+is not pluggable, only its location in the import graph is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.errors import SimulationError
+
+__all__ = ["RouterFactory", "register_router_factory", "create_router"]
+
+#: Anything that builds a router from the keyword arguments the simulator
+#: passes (site_count, replication, policy, protocol selections, ...).
+RouterFactory = Callable[..., Any]
+
+_router_factory: Optional[RouterFactory] = None
+
+
+def register_router_factory(factory: RouterFactory) -> None:
+    """Install the router constructor (called by ``repro.distributed``)."""
+    global _router_factory
+    _router_factory = factory
+
+
+def create_router(**kwargs: Any) -> Any:
+    """Build a router with the registered factory."""
+    if _router_factory is None:
+        raise SimulationError(
+            "no router factory is registered; import repro.distributed "
+            "(importing the repro package does this) before building a "
+            "Simulation"
+        )
+    return _router_factory(**kwargs)

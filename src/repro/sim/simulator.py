@@ -45,8 +45,8 @@ the scheduler from inside one of its callbacks.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
 
 from ..core.backends import ConcurrencyControlBackend
 from ..core.errors import SimulationError
@@ -57,16 +57,23 @@ from ..core.scheduler import (
 )
 from ..core.specification import Event, Invocation
 from ..core.transaction import TransactionStatus
-from ..distributed.router import TransactionRouter
 from .engine import EventEngine
 from .metrics import MetricsCollector, RunMetrics
 from .params import SimulationParameters
 from .random_source import RandomSource
 from .resources import make_resource_charger
+from .routing import create_router
 from .terminals import Terminal, TerminalPool
 from .workload import TransactionTemplate, Workload, make_workload
 
 __all__ = ["LogicalTransaction", "Simulation", "run_simulation"]
+
+# Restart backoff for transactions stuck in repeated deadlock aborts (see
+# Simulation.on_aborted).  The threshold is the number of attempts a logical
+# transaction may burn before its restarts start backing off; the cap bounds
+# the escalation at ``cap * step_time``.
+_BACKOFF_ATTEMPTS = 8
+_BACKOFF_CAP = 64
 
 
 @dataclass
@@ -124,7 +131,7 @@ class Simulation(SchedulerListener):
                 "an explicit backend instance requires site_count=1 and no "
                 "failure schedule; select per-site backends through params.policy"
             )
-        self.router = TransactionRouter(
+        self.router = create_router(
             site_count=params.site_count,
             replication=params.replication,
             policy=params.policy,
@@ -163,12 +170,19 @@ class Simulation(SchedulerListener):
     # Run control
     # ------------------------------------------------------------------
     def run(self, max_events: Optional[int] = None) -> RunMetrics:
-        """Run until ``total_completions`` transactions complete."""
-        if max_events is None:
-            max_events = max(
-                2_000_000,
-                200 * self.params.total_completions * self.params.max_length,
-            )
+        """Run until ``total_completions`` transactions complete.
+
+        ``max_events`` caps the *total* events of the run.  When it is left
+        at the default, the safety valve is progress-aware instead: the run
+        may process any number of events overall, but raises if no
+        transaction completes within a large fixed budget.  A genuine
+        configuration error (a zero-delay event loop, a wedged scheduler)
+        makes no progress and still trips the valve, while a heavily
+        thrashing high-contention run — which completes work, just slowly —
+        is allowed to finish.  Driving the engine in between-completion
+        segments does not change which events run or their order, so
+        simulation streams are unaffected.
+        """
         self.metrics.begin_measurement(
             0.0,
             self.router.stats,
@@ -182,7 +196,20 @@ class Simulation(SchedulerListener):
             terminal.think_then_submit(
                 self.engine, self.think_rng, self.params.ext_think_time, self._submit
             )
-        self.engine.run(until=self._done, max_events=max_events)
+        if max_events is not None:
+            self.engine.run(until=self._done, max_events=max_events)
+        else:
+            stall_budget = max(
+                2_000_000,
+                200 * self.params.total_completions * self.params.max_length,
+            )
+            while not self._done():
+                self.engine.run(
+                    until=lambda before=self.completions: (
+                        self._done() or self.completions > before
+                    ),
+                    max_events=stall_budget,
+                )
         return self.metrics.freeze(
             self.engine.now,
             self.router.stats,
@@ -403,6 +430,19 @@ class Simulation(SchedulerListener):
         # needed copies still down it would otherwise spin through abort and
         # restart in zero simulated time.
         delay = self.params.step_time if reason is AbortReason.SITE_UNAVAILABLE else 0.0
+        # Deadlock-abort livelock breaker.  Templates are fixed per logical
+        # transaction and victim selection is deterministic, so under heavy
+        # contention a set of mutually conflicting transactions can re-form
+        # the same deadlock cycle on every immediate restart, forever (seen
+        # at mpl=8 over 24 objects).  After several failed attempts the
+        # restart backs off by an escalating, attempt-derived delay, which
+        # staggers the group and breaks the lock-step.  The delay is a pure
+        # function of the attempt count — no RNG is consulted — and the
+        # threshold is high enough that runs which make normal progress
+        # replay bit-identically.
+        if transaction.attempts > _BACKOFF_ATTEMPTS:
+            over = transaction.attempts - _BACKOFF_ATTEMPTS
+            delay = max(delay, self.params.step_time * min(over, _BACKOFF_CAP))
         self.engine.schedule(delay, lambda: self._restart(transaction))
 
     def on_committed(self, transaction_id: int) -> None:

@@ -10,8 +10,8 @@ how fast the system completes work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from .engine import EventEngine
 from .random_source import RandomSource
@@ -47,7 +47,7 @@ class TerminalPool:
     def __init__(self, count: int):
         self.terminals = [Terminal(terminal_id=i) for i in range(1, count + 1)]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Terminal]:
         return iter(self.terminals)
 
     def __len__(self) -> int:

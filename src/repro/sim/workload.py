@@ -20,7 +20,7 @@ logical transaction executes, and re-executes identically after a restart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..adts.page import PageType
 from ..core.compatibility import Answer, CompatibilitySpec, RelationTable
@@ -159,13 +159,13 @@ def random_compatibility_table(
     commutativity = RelationTable(
         name=f"random commutativity {object_name}".strip(),
         operations=tuple(operations),
-        entries={pair: Answer.YES for pair in commutative},
+        entries={pair: Answer.YES for pair in sorted(commutative)},
         default=Answer.NO,
     )
     recoverability = RelationTable(
         name=f"random recoverability {object_name}".strip(),
         operations=tuple(operations),
-        entries={pair: Answer.YES for pair in commutative | recoverable},
+        entries={pair: Answer.YES for pair in sorted(commutative | recoverable)},
         default=Answer.NO,
     )
     return CompatibilitySpec(

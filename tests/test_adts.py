@@ -2,19 +2,7 @@
 
 import pytest
 
-from repro.adts import (
-    AtomicObject,
-    CounterType,
-    PageType,
-    QueueType,
-    SetType,
-    StackType,
-    TableType,
-    available_types,
-    get_type,
-    paper_types,
-    register_type,
-)
+from repro.adts import StackType, available_types, get_type, paper_types, register_type
 from repro.core.errors import SpecificationError
 from repro.core.specification import Invocation
 

@@ -1,0 +1,51 @@
+"""Annotation-completeness guard for the strict-typed packages.
+
+CI runs mypy with ``disallow_untyped_defs``/``disallow_incomplete_defs``
+over ``repro.sim`` and ``repro.distributed`` (see ``[tool.mypy]`` in
+pyproject.toml).  mypy is not part of the runtime environment, so this test
+enforces the same surface with the stdlib ``ast`` module: every function in
+the two packages must annotate its return type and all of its parameters.
+A regression here is exactly what would turn the CI mypy job red.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+STRICT_PACKAGES = ("sim", "distributed")
+
+
+def _missing_annotations(tree):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = []
+        # ``__init__`` implicitly returns None; mypy accepts it unannotated
+        # as long as some parameter is annotated.
+        if node.returns is None and node.name != "__init__":
+            missing.append("return")
+        arguments = node.args
+        named = arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+        for argument in named:
+            if argument.arg in ("self", "cls"):
+                continue
+            if argument.annotation is None:
+                missing.append(argument.arg)
+        if arguments.vararg is not None and arguments.vararg.annotation is None:
+            missing.append("*" + arguments.vararg.arg)
+        if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+            missing.append("**" + arguments.kwarg.arg)
+        if missing:
+            yield node.lineno, node.name, missing
+
+
+@pytest.mark.parametrize("package", STRICT_PACKAGES)
+def test_strict_packages_fully_annotated(package):
+    problems = []
+    for path in sorted((SRC / package).rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, name, missing in _missing_annotations(tree):
+            problems.append(f"{path}:{lineno} {name}() missing: {', '.join(missing)}")
+    assert problems == [], "\n".join(problems)

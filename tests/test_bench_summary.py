@@ -49,3 +49,12 @@ def test_unknown_figure_is_rejected(bench_summary, tmp_path):
         bench_summary.main(
             ["--figures", "figure-99", "--output", str(tmp_path / "x.json")]
         )
+
+
+def test_lint_summary_rides_along(bench_summary):
+    lint = bench_summary.lint_summary()
+    assert lint["total"] == 0
+    assert set(lint["rule_counts"]) == {
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+    }
+    assert all(count == 0 for count in lint["rule_counts"].values())

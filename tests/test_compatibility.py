@@ -5,7 +5,7 @@ import pytest
 from repro.core.compatibility import Answer, CompatibilitySpec, ConflictClass, RelationTable
 from repro.core.errors import SpecificationError
 from repro.core.specification import Invocation
-from repro.adts import SetType, TableType
+from repro.adts import TableType
 
 
 class TestAnswer:

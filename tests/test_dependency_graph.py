@@ -1,6 +1,5 @@
 """Tests for the unified wait-for / commit-dependency graph."""
 
-import pytest
 
 from repro.core.dependency_graph import DependencyGraph, Edge, EdgeKind
 

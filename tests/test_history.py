@@ -1,6 +1,5 @@
 """Tests for the execution-log machinery."""
 
-import pytest
 
 from repro.core.history import ExecutionLog, RecordKind
 from repro.core.specification import Invocation

@@ -1,6 +1,5 @@
 """Tests for the per-object manager: classification, execution, removal."""
 
-import pytest
 
 from repro.adts import StackType, TableType
 from repro.core.compatibility import ConflictClass

@@ -7,7 +7,6 @@ sequence (3) recoverability lets T2 proceed without waiting for T1 while still
 fixing the commit order.
 """
 
-import pytest
 
 from repro.adts import SetType, StackType
 from repro.core.history import ExecutionLog

@@ -13,11 +13,10 @@ These tests check the paper's formal claims on randomly generated inputs:
 * structural invariants of the dependency graph and the simulator's metrics.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.adts import CounterType, SetType, StackType, TableType
+from repro.adts import SetType, StackType, TableType
 from repro.core.derivation import invocation_recoverable, invocations_commute
 from repro.core.dependency_graph import DependencyGraph, EdgeKind
 from repro.core.policy import ConflictPolicy
@@ -189,7 +188,6 @@ class TestSchedulerProducesCorrectHistories:
         script = [step for step in script if step[3] != "op" or _invocation_matches_object(step[1], step[2])]
         scheduler = _drive_scheduler(ConflictPolicy.RECOVERABILITY, script)
         log = scheduler.history
-        committed = log.committed()
         # Replay committed transactions' operations serially in commit order.
         commit_order = [
             record.transaction_id

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.adts import CounterType, SetType, StackType
 from repro.core.errors import RecoveryError
 from repro.core.recovery import IntentionsList, UndoLog
 from repro.core.specification import Invocation

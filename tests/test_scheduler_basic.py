@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.adts import CounterType, PageType, SetType, StackType
+from repro.adts import CounterType, SetType, StackType
 from repro.core.errors import TransactionStateError, UnknownObjectError
 from repro.core.policy import ConflictPolicy
-from repro.core.scheduler import AbortReason, RequestStatus, Scheduler, SchedulerListener
-from repro.core.specification import Invocation
+from repro.core.scheduler import Scheduler, SchedulerListener
 from repro.core.transaction import TransactionStatus
 
 

@@ -1,8 +1,7 @@
 """Deadlock detection, commit-dependency cycles, fairness, and policies."""
 
-import pytest
 
-from repro.adts import PageType, SetType, StackType
+from repro.adts import PageType, StackType
 from repro.core.policy import ConflictPolicy
 from repro.core.scheduler import AbortReason, Scheduler
 from repro.core.transaction import TransactionStatus

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adts import PageType, SetType, StackType
+from repro.adts import SetType, StackType
 from repro.core.dependency_graph import EdgeKind
 from repro.core.errors import SpecificationError
 from repro.core.history import ExecutionLog

@@ -74,6 +74,29 @@ class TestEventEngine:
         with pytest.raises(SimulationError):
             engine.run(until=lambda: False, max_events=10)
 
+    def test_deadlock_thrash_backs_off_and_completes(self):
+        # Regression: at mpl=8 over 24 objects under COMMUTATIVITY/adt this
+        # exact configuration used to livelock — the 15 fixed templates
+        # re-formed the same deadlock cycle on every zero-delay restart and
+        # the run burned >6M events completing 21 of 40 transactions.  The
+        # escalating restart backoff in Simulation.on_aborted staggers the
+        # group; the whole run now takes a few thousand events.
+        from repro.core.policy import ConflictPolicy
+        from repro.sim.simulator import Simulation
+
+        params = SimulationParameters(
+            database_size=24,
+            num_terminals=15,
+            mpl_level=8,
+            total_completions=40,
+            policy=ConflictPolicy.COMMUTATIVITY,
+            seed=24,
+        )
+        simulation = Simulation(params, workload_kind="adt")
+        metrics = simulation.run()
+        assert metrics.completions >= 40
+        assert simulation.engine.events_processed < 100_000
+
 
 class TestRandomSource:
     def test_same_seed_same_stream(self):

@@ -50,9 +50,24 @@ from repro.analysis.figures import (  # noqa: E402  (path bootstrap above)
     all_figure_ids,
     figure_spec,
 )
+from repro.lint import lint_paths, rule_counts  # noqa: E402
 from repro.sim.simulator import run_simulation  # noqa: E402
 
 _SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+
+def lint_summary() -> Dict[str, object]:
+    """Per-rule violation counts of ``repro lint`` over the package tree.
+
+    Rides along in BENCH_summary.json so the uploaded artifact records the
+    static-analysis state of the exact commit the counters came from (the
+    gating lint job fails the build on violations; this is the audit trail).
+    """
+    violations = lint_paths([str(ROOT / "src" / "repro")])
+    return {
+        "rule_counts": rule_counts(violations),
+        "total": len(violations),
+    }
 
 
 def _point_counters(metrics_list) -> Dict[str, float]:
@@ -95,7 +110,7 @@ def summarize(figure_ids: List[str], scale_name: str) -> Dict[str, object]:
         figures[figure_id] = {"title": spec.title, "points": variants}
         print(f"  {figure_id}: {len(spec.variants)} variants x "
               f"{len(spec.mpl_levels)} mpl levels", flush=True)
-    return {"scale": scale_name, "figures": figures}
+    return {"scale": scale_name, "figures": figures, "lint": lint_summary()}
 
 
 def main(argv=None) -> int:

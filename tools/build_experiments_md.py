@@ -12,7 +12,6 @@ series/summary reports the benchmark harness saved.
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
