@@ -16,6 +16,15 @@ variable ``REPRO_BENCH_SCALE``:
 * ``bench`` — the default; the full mpl sweep at a reduced run length;
 * ``paper`` — the paper's own scale (50 000 completions per point, 10 runs);
   expect hours.
+
+``REPRO_BENCH_WORKERS`` (default 1) fans each experiment's points out over
+that many worker processes via the parallel runner; every worker count
+produces byte-identical results, so the shape assertions and the saved
+reports never depend on it.
+
+The benchmark modules themselves are thin wrappers: each one asks the
+central experiment registry (``repro.analysis.registry``) for its spec and
+asserts the qualitative shape.
 """
 
 import os
@@ -30,9 +39,9 @@ if _SRC not in sys.path:
 
 from repro.analysis import (  # noqa: E402  (path bootstrap above)
     BENCH_SCALE,
+    EXPERIMENT_REGISTRY,
     PAPER_SCALE,
     SMOKE_SCALE,
-    figure_spec,
     render_result,
     run_experiment,
 )
@@ -51,6 +60,17 @@ def _selected_scale():
     return _SCALES[name]
 
 
+def _selected_workers():
+    text = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    try:
+        workers = int(text)
+    except ValueError:
+        raise ValueError(f"REPRO_BENCH_WORKERS={text!r} is not an integer")
+    if workers < 1:
+        raise ValueError(f"REPRO_BENCH_WORKERS={text!r} must be >= 1")
+    return workers
+
+
 @pytest.fixture(scope="session")
 def scale():
     """The reproduction scale selected for this benchmark session."""
@@ -63,23 +83,32 @@ def results_dir():
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def workers():
+    """Worker-process count selected for this benchmark session."""
+    return _selected_workers()
+
+
 @pytest.fixture
-def run_figure(benchmark, scale, results_dir):
-    """Run one figure's experiment under pytest-benchmark and report it.
+def run_figure(benchmark, scale, workers, results_dir):
+    """Run one registry experiment under pytest-benchmark and report it.
 
     Returns the :class:`~repro.analysis.experiments.ExperimentResult` so the
-    calling module can assert the expected qualitative shape.
+    calling module can assert the expected qualitative shape.  Despite the
+    name it runs any registry experiment with a spec builder (figures and
+    ablations alike).
     """
 
-    def _run(figure_id):
-        spec = figure_spec(figure_id, scale)
+    def _run(experiment_id):
+        spec = EXPERIMENT_REGISTRY.spec(experiment_id, scale)
         result = benchmark.pedantic(
-            lambda: run_experiment(spec), rounds=1, iterations=1, warmup_rounds=0
+            lambda: run_experiment(spec, workers=workers),
+            rounds=1, iterations=1, warmup_rounds=0,
         )
         report = render_result(result)
         print()
         print(report)
-        (results_dir / f"{figure_id}.txt").write_text(report + "\n")
+        (results_dir / f"{experiment_id}.txt").write_text(report + "\n")
         return result
 
     return _run

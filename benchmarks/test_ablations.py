@@ -6,11 +6,10 @@ of the reproduction:
 * **scheduler overhead** — raw operations/second of the scheduler itself (no
   simulation), commutativity vs recoverability, measuring the cost of the
   extra commit-dependency bookkeeping the paper argues is small;
-* **pseudo-commit slot policy** — whether a pseudo-committed transaction keeps
-  occupying a multiprogramming slot until its durable commit (the paper's
-  reading) or releases it at completion;
-* **write probability** — how the recoverability advantage grows with the
-  fraction of writes in the read/write workload.
+* **pseudo-commit slot policy** and **write probability** — registry
+  experiments (``repro.analysis.ablations``) run through the same
+  ``run_figure`` harness as the figures; the specs live with the other
+  experiment definitions and the modules here only assert the shapes.
 """
 
 import pytest
@@ -18,12 +17,10 @@ import pytest
 from repro.core.policy import ConflictPolicy
 from repro.core.scheduler import Scheduler
 from repro.adts import StackType
-from repro.sim.params import SimulationParameters
-from repro.sim.simulator import run_simulation
 
 
 # ----------------------------------------------------------------------
-# Scheduler overhead (pure CC layer, no simulation)
+# Scheduler overhead (pure CC layer, no simulation — not a registry sweep)
 # ----------------------------------------------------------------------
 def _scheduler_burst(policy, transactions=50, pushes=4):
     scheduler = Scheduler(policy=policy, record_history=False, retain_terminated=False)
@@ -43,76 +40,27 @@ def test_ablation_scheduler_overhead(benchmark, policy):
 
 
 # ----------------------------------------------------------------------
-# Pseudo-commit slot policy
+# Pseudo-commit slot policy (registry experiment)
 # ----------------------------------------------------------------------
-def test_ablation_pseudo_commit_slot(benchmark, results_dir):
-    def run_both():
-        outcomes = {}
-        for holds_slot in (True, False):
-            params = SimulationParameters(
-                mpl_level=50,
-                total_completions=400,
-                policy=ConflictPolicy.RECOVERABILITY,
-                pseudo_commit_holds_slot=holds_slot,
-                seed=17,
-            )
-            outcomes[holds_slot] = run_simulation(params, "readwrite")
-        return outcomes
-
-    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1, warmup_rounds=0)
-    lines = ["pseudo-commit slot ablation (RW model, mpl=50, infinite resources)"]
-    for holds_slot, metrics in outcomes.items():
-        lines.append(
-            f"  holds_slot={holds_slot}: throughput={metrics.throughput:.2f} "
-            f"response={metrics.response_time:.3f} pseudo_commits={metrics.pseudo_commits}"
-        )
-    text = "\n".join(lines)
-    print()
-    print(text)
-    (results_dir / "ablation_pseudo_commit_slot.txt").write_text(text + "\n")
-    assert all(metrics.throughput > 0 for metrics in outcomes.values())
+def test_ablation_pseudo_commit_slot(run_figure):
+    result = run_figure("ablation-pseudo-commit-slot")
+    for label in ("holds-slot", "releases-slot"):
+        (_, peak) = result.peak(label)
+        assert peak > 0
 
 
 # ----------------------------------------------------------------------
-# Write-probability sweep
+# Write-probability sweep (registry experiment)
 # ----------------------------------------------------------------------
-def test_ablation_write_probability(benchmark, results_dir):
-    probabilities = (0.1, 0.3, 0.5)
-
-    def run_sweep():
-        table = {}
-        for probability in probabilities:
-            row = {}
-            # The ablation isolates the semantic-policy gain, so only the two
-            # table-driven policies run (2PL at mpl=100 thrashes and would
-            # dominate the suite's wall-clock without informing this table).
-            for policy in (ConflictPolicy.COMMUTATIVITY, ConflictPolicy.RECOVERABILITY):
-                params = SimulationParameters(
-                    mpl_level=100,
-                    total_completions=400,
-                    policy=policy,
-                    write_probability=probability,
-                    seed=23,
-                )
-                row[policy] = run_simulation(params, "readwrite").throughput
-            table[probability] = row
-        return table
-
-    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1, warmup_rounds=0)
-    lines = ["write-probability ablation (RW model, mpl=100, infinite resources)"]
+def test_ablation_write_probability(run_figure):
+    result = run_figure("ablation-write-probability")
     improvements = {}
-    for probability, row in table.items():
-        baseline = row[ConflictPolicy.COMMUTATIVITY]
-        improved = row[ConflictPolicy.RECOVERABILITY]
-        improvements[probability] = (improved - baseline) / baseline if baseline else 0.0
-        lines.append(
-            f"  write_probability={probability}: commutativity={baseline:.2f} "
-            f"recoverability={improved:.2f} gain={improvements[probability] * 100:+.1f}%"
+    for probability in (0.1, 0.5):
+        improvements[probability] = result.improvement(
+            better=f"Pw={probability}/recoverability",
+            baseline=f"Pw={probability}/commutativity",
+            mpl=100,
         )
-    text = "\n".join(lines)
-    print()
-    print(text)
-    (results_dir / "ablation_write_probability.txt").write_text(text + "\n")
     # More writes means more non-commuting pairs, which is exactly where
     # recoverability helps: the gain at 0.5 should not be smaller than at 0.1.
     assert improvements[0.5] >= improvements[0.1] - 0.05

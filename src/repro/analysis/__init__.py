@@ -1,5 +1,6 @@
 """Experiment harness, per-figure definitions, table regeneration, reporting."""
 
+from .ablations import ABLATION_BUILDERS, ablation_pseudo_commit_slot, ablation_write_probability
 from .experiments import (
     AveragedMetrics,
     ExperimentResult,
@@ -16,6 +17,8 @@ from .figures import (
     all_figure_ids,
     figure_spec,
 )
+from .profiling import ProfileReport, profile_simulation
+from .registry import EXPERIMENT_REGISTRY, ExperimentRegistry, RegisteredExperiment
 from .reporting import render_result, render_series, render_summary
 from .tables import (
     PAPER_TABLE_NUMBERS,
@@ -27,10 +30,18 @@ from .tables import (
 )
 
 __all__ = [
+    "ABLATION_BUILDERS",
+    "ablation_pseudo_commit_slot",
+    "ablation_write_probability",
     "AveragedMetrics",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentRegistry",
     "ExperimentResult",
     "ExperimentSpec",
+    "ProfileReport",
+    "RegisteredExperiment",
     "Variant",
+    "profile_simulation",
     "run_experiment",
     "BENCH_SCALE",
     "PAPER_SCALE",

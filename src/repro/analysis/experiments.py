@@ -6,12 +6,19 @@ multiprogramming levels, each point averaged over several runs.  An
 :class:`ExperimentSpec` captures that shape declaratively; :func:`run_experiment`
 executes it and returns an :class:`ExperimentResult` that the reporting module
 renders as the paper-style series.
+
+Every ``(variant, mpl_level, run_index)`` point is an independent seeded
+simulation, so :func:`run_experiment` can fan the points out over a
+``ProcessPoolExecutor`` (``workers > 1``) and reassemble the results in the
+deterministic spec order — the :class:`ExperimentResult` is identical, point
+for point and byte for byte, to the serial ``workers=1`` path.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import ExperimentError
 from ..sim.metrics import RunMetrics
@@ -48,6 +55,9 @@ class AveragedMetrics:
     abort_length: float
     completions: float
     pseudo_commit_fraction: float
+    #: Simulated seconds summed over the point's runs — deterministic, like
+    #: the counters; ``tools/bench_summary.py`` records it per point.
+    simulated_time: float = 0.0
     #: Raw deterministic counters summed over the point's runs (the
     #: :meth:`~repro.sim.metrics.RunMetrics.counters` set, including the
     #: ``resource_*`` and ``replication_*`` families), frozen as sorted
@@ -71,6 +81,7 @@ class AveragedMetrics:
 
         return cls(
             counters=tuple(sorted(summed.items())),
+            simulated_time=sum(m.simulated_time for m in metrics),
             runs=count,
             throughput=mean([m.throughput for m in metrics]),
             response_time=mean([m.response_time for m in metrics]),
@@ -180,25 +191,72 @@ class ExperimentResult:
         return (better_value - baseline_value) / baseline_value
 
 
-def run_experiment(spec: ExperimentSpec, progress: Optional[callable] = None) -> ExperimentResult:
-    """Execute every (variant, mpl, run) point of an experiment.
+def _simulate_point(task: Tuple[SimulationParameters, str]) -> RunMetrics:
+    """Run one ``(params, workload)`` point; module-level so it pickles."""
+    params, workload_kind = task
+    return run_simulation(params, workload_kind=workload_kind)
 
-    ``progress`` (if given) is called with a human-readable string after each
-    completed point; the benchmark harness uses it to stream status lines.
-    """
-    spec.validate()
-    points: Dict[str, Dict[int, AveragedMetrics]] = {}
+
+def _point_tasks(spec: ExperimentSpec) -> List[Tuple[SimulationParameters, str]]:
+    """Every (variant, mpl, run) point in deterministic spec order."""
+    tasks: List[Tuple[SimulationParameters, str]] = []
     for variant in spec.variants:
-        per_level: Dict[int, AveragedMetrics] = {}
         for mpl_level in spec.mpl_levels:
-            run_results: List[RunMetrics] = []
             for run_index in range(spec.runs):
                 params = spec.base_params.replace(
                     mpl_level=mpl_level,
                     seed=spec.base_params.seed + run_index,
                     **dict(variant.overrides),
                 )
-                run_results.append(run_simulation(params, workload_kind=spec.workload))
+                tasks.append((params, spec.workload))
+    return tasks
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Execute every (variant, mpl, run) point of an experiment.
+
+    ``progress`` (if given) is called with a human-readable string after each
+    completed point; the benchmark harness uses it to stream status lines.
+
+    ``workers`` fans the points out over a ``ProcessPoolExecutor``.  Every
+    point is an independent simulation fully determined by ``(parameters,
+    seed)``, and the results are reassembled in the deterministic spec order,
+    so the returned :class:`ExperimentResult` is identical for every worker
+    count; ``workers=1`` (the default) runs the exact serial path with no
+    executor and no pickling.
+    """
+    spec.validate()
+    if workers < 1:
+        raise ExperimentError(f"{spec.experiment_id}: workers must be >= 1")
+    tasks = _point_tasks(spec)
+    if workers == 1:
+        metrics_iter: Iterator[RunMetrics] = (_simulate_point(task) for task in tasks)
+        return _assemble(spec, metrics_iter, progress)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return _assemble(spec, executor.map(_simulate_point, tasks), progress)
+
+
+def _assemble(
+    spec: ExperimentSpec,
+    metrics_iter: Iterator[RunMetrics],
+    progress: Optional[Callable[[str], None]],
+) -> ExperimentResult:
+    """Fold the per-point metrics stream back into an :class:`ExperimentResult`.
+
+    ``metrics_iter`` must yield one :class:`RunMetrics` per (variant, mpl,
+    run) point in the order :func:`_point_tasks` produced them; consuming it
+    lazily keeps the serial path's interleaving of simulation work and
+    progress callbacks.
+    """
+    points: Dict[str, Dict[int, AveragedMetrics]] = {}
+    for variant in spec.variants:
+        per_level: Dict[int, AveragedMetrics] = {}
+        for mpl_level in spec.mpl_levels:
+            run_results = [next(metrics_iter) for _ in range(spec.runs)]
             per_level[mpl_level] = AveragedMetrics.from_runs(run_results)
             if progress is not None:
                 progress(

@@ -1,0 +1,113 @@
+"""Deterministic cProfile harness for the simulator's hot loop.
+
+``repro profile`` wraps one seeded simulation point in :mod:`cProfile` and
+reports the *call counts* — which, unlike the timing columns, are fully
+determined by ``(parameters, seed)``: the same invocation on any machine
+produces the same total calls, the same per-function counts, and therefore
+the same report.  That is what makes the output diffable PR-over-PR: a
+hot-loop refactor shows up as a drop in calls/event, not as wall-clock noise.
+
+The raw pstats rendering (timings included) is available behind
+``render(raw=True)`` for interactive tuning sessions.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.metrics import RunMetrics
+from ..sim.params import SimulationParameters
+from ..sim.simulator import run_simulation
+
+__all__ = ["ProfileReport", "profile_simulation"]
+
+
+def _shorten(filename: str) -> str:
+    """Machine-independent location: anchor paths at the ``repro`` package."""
+    normalized = filename.replace("\\", "/")
+    marker = "/repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        return "repro/" + normalized[index + len(marker):]
+    return normalized.rsplit("/", 1)[-1]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One profiled simulation point: deterministic counts + raw pstats."""
+
+    params: SimulationParameters
+    workload: str
+    metrics: RunMetrics
+    #: Total Python-level calls during the run (primitive + recursive).
+    total_calls: int
+    #: ``(ncalls, "repro/...:lineno(function)")`` rows, most-called first
+    #: (ties broken by location) — deterministic for a seeded run.
+    rows: Tuple[Tuple[int, str], ...]
+    #: Full pstats text sorted by cumulative time.  Wall-clock: NOT
+    #: deterministic; excluded from the default rendering.
+    raw_stats: str
+
+    @property
+    def calls_per_event(self) -> float:
+        """Python-level calls per simulation-engine event."""
+        if self.metrics.events_processed == 0:
+            return 0.0
+        return self.total_calls / self.metrics.events_processed
+
+    def render(self, top: int = 25, raw: bool = False) -> str:
+        """The report text: header, top-N call counts, optional raw pstats."""
+        lines = [
+            f"profile: workload={self.workload} policy={self.params.policy.value} "
+            f"mpl={self.params.mpl_level} "
+            f"completions={self.params.total_completions} "
+            f"database_size={self.params.database_size} seed={self.params.seed}",
+            f"events_processed={self.metrics.events_processed}  "
+            f"total_calls={self.total_calls}  "
+            f"calls/event={self.calls_per_event:.2f}",
+            "",
+            f"top {min(top, len(self.rows))} functions by call count "
+            "(deterministic for a seeded run):",
+        ]
+        width = max((len(str(ncalls)) for ncalls, _ in self.rows[:top]), default=1)
+        for ncalls, location in self.rows[:top]:
+            lines.append(f"  {str(ncalls).rjust(width)}  {location}")
+        if raw:
+            lines += ["", "raw pstats (wall-clock times; not deterministic):",
+                      self.raw_stats.rstrip()]
+        return "\n".join(lines)
+
+
+def profile_simulation(
+    params: SimulationParameters, workload_kind: str = "readwrite"
+) -> ProfileReport:
+    """Profile one simulation point and return its deterministic report."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        metrics = run_simulation(params, workload_kind=workload_kind)
+    finally:
+        profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats()
+
+    rows: List[Tuple[int, str]] = []
+    for (filename, lineno, funcname), entry in stats.stats.items():  # type: ignore[attr-defined]
+        ncalls = entry[1]  # (cc, nc, tt, ct, callers): nc = total call count
+        rows.append((ncalls, f"{_shorten(filename)}:{lineno}({funcname})"))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+
+    return ProfileReport(
+        params=params,
+        workload=workload_kind,
+        metrics=metrics,
+        total_calls=int(stats.total_calls),  # type: ignore[attr-defined]
+        rows=tuple(rows),
+        raw_stats=buffer.getvalue(),
+    )

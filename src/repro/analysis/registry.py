@@ -1,0 +1,162 @@
+"""The central experiment registry: every reproducible experiment, by id.
+
+The figure builders (:mod:`repro.analysis.figures`), the ablation builders
+(:mod:`repro.analysis.ablations`) and the table regeneration all used to be
+reachable only through their own module-level entry points; the registry
+gives them one declarative index — id → builder — that the ``repro figures``
+subcommand, the benchmark harness and ``tools/bench_summary.py`` all drive.
+Iteration order is registration order (paper order), which is what makes
+"reassembled in deterministic registry order" a meaningful guarantee for the
+parallel runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..core.errors import ExperimentError
+from .ablations import ABLATION_BUILDERS
+from .experiments import ExperimentSpec
+from .figures import BENCH_SCALE, FIGURE_BUILDERS, SMOKE_SCALE, ReproductionScale
+
+__all__ = [
+    "RegisteredExperiment",
+    "ExperimentRegistry",
+    "EXPERIMENT_REGISTRY",
+]
+
+#: The four multi-site experiments layered on Figure 4's workload.
+_DISTRIBUTED_IDS = frozenset(
+    {
+        "figure-4-sites",
+        "figure-4-sites-scaling",
+        "figure-4-protocols",
+        "figure-4-commit",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RegisteredExperiment:
+    """One registry entry: an experiment id, its category, and its builder.
+
+    ``builder`` is ``None`` for entries that are not parameter sweeps (the
+    table regeneration); the CLI handles those through their own harness.
+    """
+
+    experiment_id: str
+    kind: str  # "figure" | "baseline" | "distributed" | "ablation" | "tables"
+    summary: str
+    builder: Optional[Callable[[ReproductionScale], ExperimentSpec]] = None
+
+
+class ExperimentRegistry:
+    """Ordered id → :class:`RegisteredExperiment` index."""
+
+    def __init__(self, entries: Optional[List[RegisteredExperiment]] = None):
+        self._entries: Dict[str, RegisteredExperiment] = {}
+        for entry in entries or []:
+            self.register(entry)
+
+    def register(self, entry: RegisteredExperiment) -> None:
+        """Add one entry; duplicate ids are a programming error."""
+        if entry.experiment_id in self._entries:
+            raise ExperimentError(
+                f"experiment {entry.experiment_id!r} is already registered"
+            )
+        self._entries[entry.experiment_id] = entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, experiment_id: object) -> bool:
+        return experiment_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RegisteredExperiment]:
+        return iter(self._entries.values())
+
+    def ids(self, kind: Optional[str] = None) -> List[str]:
+        """Every registered id in registration (paper) order."""
+        return [
+            entry.experiment_id
+            for entry in self._entries.values()
+            if kind is None or entry.kind == kind
+        ]
+
+    def runnable_ids(self) -> List[str]:
+        """Ids with a spec builder (everything the parallel runner can run)."""
+        return [
+            entry.experiment_id
+            for entry in self._entries.values()
+            if entry.builder is not None
+        ]
+
+    def entry(self, experiment_id: str) -> RegisteredExperiment:
+        """Look one entry up, with the known ids in the error message."""
+        try:
+            return self._entries[experiment_id]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; known: {sorted(self._entries)}"
+            ) from None
+
+    def spec(
+        self, experiment_id: str, scale: ReproductionScale = BENCH_SCALE
+    ) -> ExperimentSpec:
+        """Build the spec of one runnable experiment at the given scale."""
+        entry = self.entry(experiment_id)
+        if entry.builder is None:
+            raise ExperimentError(
+                f"{experiment_id!r} is not a parameter sweep (kind "
+                f"{entry.kind!r}); it has no ExperimentSpec"
+            )
+        return entry.builder(scale)
+
+
+def _figure_kind(experiment_id: str) -> str:
+    if experiment_id in _DISTRIBUTED_IDS:
+        return "distributed"
+    if experiment_id == "figure-4-2pl":
+        return "baseline"
+    return "figure"
+
+
+def _default_registry() -> ExperimentRegistry:
+    registry = ExperimentRegistry()
+    for experiment_id, builder in FIGURE_BUILDERS.items():
+        registry.register(
+            RegisteredExperiment(
+                experiment_id=experiment_id,
+                kind=_figure_kind(experiment_id),
+                summary=builder(SMOKE_SCALE).title,
+                builder=builder,
+            )
+        )
+    for experiment_id, builder in ABLATION_BUILDERS.items():
+        registry.register(
+            RegisteredExperiment(
+                experiment_id=experiment_id,
+                kind="ablation",
+                summary=builder(SMOKE_SCALE).title,
+                builder=builder,
+            )
+        )
+    registry.register(
+        RegisteredExperiment(
+            experiment_id="tables",
+            kind="tables",
+            summary="Tables I-X: declared vs derived compatibility + parameters",
+            builder=None,
+        )
+    )
+    return registry
+
+
+#: The default registry: all 20 figure experiments (paper figures, the
+#: strict-2PL baseline, the four distributed experiments), the two
+#: simulation ablations, and the table regeneration.
+EXPERIMENT_REGISTRY = _default_registry()

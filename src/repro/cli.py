@@ -10,6 +10,12 @@ The CLI exposes the experiment harness without writing any Python:
 ``python -m repro figure figure-4 [--scale smoke|bench|paper] [--output DIR]``
     run one figure's experiment and print (and optionally save) the
     paper-style series and summary;
+``python -m repro figures [--list] [--only ID ...] [--workers N] [--out DIR]``
+    drive the experiment registry (figures, ablations, tables) through the
+    parallel runner; every worker count produces byte-identical results;
+``python -m repro profile [--mpl 50 --completions 400 --top 25]``
+    cProfile one simulation point and print the deterministic top-N call
+    counts (the hot-loop perf trajectory, diffable PR-over-PR);
 ``python -m repro simulate [--mpl 50 --policy recoverability ...]``
     run a single simulation point and print its metrics; ``--policy 2pl``
     selects the strict two-phase-locking baseline backend;
@@ -46,12 +52,15 @@ from typing import List, Optional, Sequence, Tuple
 
 from .analysis import (
     BENCH_SCALE,
+    EXPERIMENT_REGISTRY,
     PAPER_SCALE,
     SMOKE_SCALE,
     all_figure_ids,
     compare_tables,
     figure_spec,
+    paper_table_reports,
     parameter_table,
+    profile_simulation,
     render_result,
     run_experiment,
 )
@@ -88,6 +97,39 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     figure.add_argument("--output", type=pathlib.Path, default=None,
                         help="directory to save the report into")
+
+    figures = subparsers.add_parser(
+        "figures",
+        help="run registry experiments through the parallel runner",
+    )
+    figures.add_argument("--list", action="store_true", dest="list_only",
+                         help="list every registered experiment and exit")
+    figures.add_argument("--only", nargs="+", metavar="ID", default=None,
+                         help="restrict to these experiment ids "
+                              "(default: every parameter-sweep experiment)")
+    figures.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the point fan-out; the "
+                              "results are identical for every worker count "
+                              "(default 1: the serial path)")
+    figures.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    figures.add_argument("--out", type=pathlib.Path, default=None,
+                         help="directory to save one report per experiment into")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile one simulation point (deterministic call counts)",
+    )
+    profile.add_argument("--workload", choices=["readwrite", "adt"], default="readwrite")
+    profile.add_argument("--policy", choices=sorted(_POLICIES), default="recoverability")
+    profile.add_argument("--mpl", type=int, default=50)
+    profile.add_argument("--completions", type=int, default=400)
+    profile.add_argument("--database-size", type=int, default=200)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--top", type=int, default=25,
+                         help="functions to show, most-called first")
+    profile.add_argument("--raw", action="store_true",
+                         help="append the raw pstats table (wall-clock "
+                              "times; not deterministic)")
 
     lint = subparsers.add_parser(
         "lint", help="run the repo's determinism/conformance static analyzer"
@@ -237,6 +279,71 @@ def _command_figure(figure_id: str, scale_name: str, output: Optional[pathlib.Pa
     return 0
 
 
+def _render_tables_report() -> str:
+    """The full Tables I-X report the registry's ``tables`` entry produces."""
+    sections = [report.render() for report in paper_table_reports()]
+    sections.append(parameter_table())
+    return "\n\n".join(sections)
+
+
+def _command_figures(arguments, out, error) -> int:
+    """Drive the experiment registry through the parallel runner."""
+    if arguments.list_only:
+        width = max(len(entry.experiment_id) for entry in EXPERIMENT_REGISTRY)
+        for entry in EXPERIMENT_REGISTRY:
+            out.write(
+                f"{entry.experiment_id.ljust(width)}  "
+                f"[{entry.kind}] {entry.summary}\n"
+            )
+        return 0
+    if arguments.workers < 1:
+        error(f"--workers must be >= 1, got {arguments.workers}")
+    experiment_ids = arguments.only or EXPERIMENT_REGISTRY.runnable_ids()
+    unknown = [i for i in experiment_ids if i not in EXPERIMENT_REGISTRY]
+    if unknown:
+        error(
+            f"unknown experiments {unknown}; known: "
+            f"{sorted(EXPERIMENT_REGISTRY.ids())}"
+        )
+    scale = _SCALES[arguments.scale]
+    for experiment_id in experiment_ids:
+        entry = EXPERIMENT_REGISTRY.entry(experiment_id)
+        if entry.builder is None:
+            report = _render_tables_report()
+        else:
+            spec = EXPERIMENT_REGISTRY.spec(experiment_id, scale)
+            result = run_experiment(
+                spec,
+                progress=lambda line: out.write("  " + line + "\n"),
+                workers=arguments.workers,
+            )
+            report = render_result(result)
+        out.write(report + "\n")
+        if arguments.out is not None:
+            arguments.out.mkdir(parents=True, exist_ok=True)
+            (arguments.out / f"{experiment_id}.txt").write_text(report + "\n")
+    return 0
+
+
+def _command_profile(arguments, out, error) -> int:
+    """Profile one simulation point; call counts are deterministic."""
+    if arguments.top < 1:
+        error(f"--top must be >= 1, got {arguments.top}")
+    try:
+        params = SimulationParameters(
+            database_size=arguments.database_size,
+            mpl_level=arguments.mpl,
+            total_completions=arguments.completions,
+            policy=_POLICIES[arguments.policy],
+            seed=arguments.seed,
+        )
+    except SimulationError as exc:
+        error(str(exc))
+    report = profile_simulation(params, workload_kind=arguments.workload)
+    out.write(report.render(top=arguments.top, raw=arguments.raw) + "\n")
+    return 0
+
+
 def _parse_site_units(text: Optional[str], site_count: int, error):
     """Parse ``--site-units 2,1,1,4`` into a per-site tuple (or ``None``).
 
@@ -364,6 +471,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_tables(arguments.type_name, out)
     if arguments.command == "figure":
         return _command_figure(arguments.figure_id, arguments.scale, arguments.output, out)
+    if arguments.command == "figures":
+        return _command_figures(arguments, out, parser.error)
+    if arguments.command == "profile":
+        return _command_profile(arguments, out, parser.error)
     if arguments.command == "lint":
         return _command_lint(arguments.paths, arguments.as_json, out)
     if arguments.command == "simulate":

@@ -26,7 +26,7 @@ from .specification import Event, Invocation, TypeSpecification
 __all__ = ["PendingRequest", "Classification", "ObjectManager"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """A blocked operation request queued at an object manager.
 
@@ -40,7 +40,7 @@ class PendingRequest:
     payload: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _OperationGroup:
     """All uncommitted operations sharing one (op name, conflict parameter).
 
@@ -56,7 +56,7 @@ class _OperationGroup:
     owners: Dict[int, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Classification:
     """Outcome of classifying a request against the uncommitted operations.
 
@@ -131,10 +131,12 @@ class ObjectManager:
         self._op_groups: Dict[Any, _OperationGroup] = {}
         #: Uncommitted events per transaction (same objects as ``uncommitted``).
         self._events_by_tid: Dict[int, List[Event]] = {}
-        #: Memo of pairwise classifications, keyed by the two invocations'
-        #: (op, conflict parameter) pairs plus the policy.  Tables are fixed
-        #: for the manager's lifetime, so entries never go stale.
-        self._pair_cache: Dict[Any, ConflictClass] = {}
+        #: Memo of pairwise classifications, one dict per policy, keyed by
+        #: the two invocations' (op, conflict parameter) pairs.  Keeping the
+        #: policy out of the per-lookup key spares an enum ``__hash__`` per
+        #: probe on the classification fast path.  Tables are fixed for the
+        #: manager's lifetime, so entries never go stale.
+        self._pair_caches: Dict[ConflictPolicy, Dict[Any, ConflictClass]] = {}
 
     # ------------------------------------------------------------------
     # Classification
@@ -158,12 +160,15 @@ class ObjectManager:
         if requested_key is None or executed_key is None:
             pairwise = self.compatibility.classify(requested, executed, self.spec)
             return effective_class(policy, pairwise)
-        cache_key = (requested_key, executed_key, policy)
-        cached = self._pair_cache.get(cache_key)
+        pair_cache = self._pair_caches.get(policy)
+        if pair_cache is None:
+            pair_cache = self._pair_caches[policy] = {}
+        cache_key = (requested_key, executed_key)
+        cached = pair_cache.get(cache_key)
         if cached is None:
             pairwise = self.compatibility.classify(requested, executed, self.spec)
             cached = effective_class(policy, pairwise)
-            self._pair_cache[cache_key] = cached
+            pair_cache[cache_key] = cached
         return cached
 
     def classify_request(
@@ -172,11 +177,18 @@ class ObjectManager:
         """Classify a request against every uncommitted operation of *other*
         transactions (a transaction never conflicts with itself)."""
         result = Classification()
-        if not self._op_groups:
+        op_groups = self._op_groups
+        if not op_groups:
             return result
         requested_key = self._conflict_key(invocation)
-        pair_cache = self._pair_cache
-        for group_key, group in self._op_groups.items():
+        pair_cache = self._pair_caches.get(policy)
+        if pair_cache is None:
+            pair_cache = self._pair_caches[policy] = {}
+        conflicting = result.conflicting
+        recoverable = result.recoverable
+        commutative = ConflictClass.COMMUTATIVE
+        conflict = ConflictClass.CONFLICT
+        for group_key, group in op_groups.items():
             owners = group.owners
             if not owners or (len(owners) == 1 and transaction_id in owners):
                 continue
@@ -185,22 +197,21 @@ class ObjectManager:
             if requested_key is None or group_key[0] == "__unhashable__":
                 pairwise = self.classify_pair(invocation, group.invocation, policy)
             else:
-                cache_key = (requested_key, group_key, policy)
-                pairwise = pair_cache.get(cache_key)
+                pairwise = pair_cache.get((requested_key, group_key))
                 if pairwise is None:
                     pairwise = effective_class(
                         policy,
                         self.compatibility.classify(invocation, group.invocation, self.spec),
                     )
-                    pair_cache[cache_key] = pairwise
-            if pairwise is ConflictClass.COMMUTATIVE:
+                    pair_cache[(requested_key, group_key)] = pairwise
+            if pairwise is commutative:
                 continue
             others = [tid for tid in owners if tid != transaction_id]
-            if pairwise is ConflictClass.CONFLICT:
-                result.conflicting.update(others)
+            if pairwise is conflict:
+                conflicting.update(others)
             else:
-                result.recoverable.update(others)
-        result.recoverable -= result.conflicting
+                recoverable.update(others)
+        recoverable -= conflicting
         return result
 
     def blocked_conflicts(

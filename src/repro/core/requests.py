@@ -38,7 +38,7 @@ class AbortReason(enum.Enum):
     SITE_UNAVAILABLE = "site unavailable"
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestHandle:
     """The caller-visible result of :meth:`repro.core.scheduler.Scheduler.perform`.
 

@@ -241,9 +241,14 @@ class Scheduler:
         self, transaction_id: int, object_name: str, invocation: Invocation
     ) -> RequestHandle:
         """Like :meth:`perform` but takes a prebuilt :class:`Invocation`."""
-        transaction = self.transaction(transaction_id)
-        transaction.require(TransactionStatus.ACTIVE)
-        manager = self.object(object_name)
+        transaction = self.transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionStateError(f"unknown transaction {transaction_id}")
+        if transaction.status is not TransactionStatus.ACTIVE:
+            transaction.require(TransactionStatus.ACTIVE)
+        manager = self.objects.get(object_name)
+        if manager is None:
+            raise UnknownObjectError(object_name)
         handle = RequestHandle(
             transaction_id=transaction_id,
             object_name=object_name,
@@ -300,10 +305,11 @@ class Scheduler:
         handle.status = RequestStatus.EXECUTED
         handle.value = event.value
         self.stats.operations_executed += 1
-        for listener in self._listeners:
-            if from_queue:
+        if from_queue:
+            for listener in self._listeners:
                 listener.on_granted(transaction.tid, handle, event)
-            else:
+        else:
+            for listener in self._listeners:
                 listener.on_executed(transaction.tid, handle, event)
         self.backend.after_execute(manager, event)
         return event

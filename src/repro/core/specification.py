@@ -51,7 +51,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationResult:
     """The outcome of applying an operation in a given state.
 
@@ -69,7 +69,7 @@ class OperationResult:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationSpec:
     """A single named operation of an abstract data type.
 
@@ -108,7 +108,7 @@ class OperationSpec:
         return result
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Invocation:
     """An operation invocation: a name plus an argument tuple."""
 
@@ -120,7 +120,7 @@ class Invocation:
         return f"{self.op}({rendered})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A paired invocation and response, attributed to a transaction.
 

@@ -52,7 +52,7 @@ class TransactionStatus(enum.Enum):
         return not self.is_terminated
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """Scheduler-side record of one transaction."""
 

@@ -96,7 +96,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BranchRef:
     """A local transaction at one site, pinned to a scheduler generation.
 
@@ -109,7 +109,12 @@ class BranchRef:
     generation: int
 
 
-@dataclass
+_EXECUTED = RequestStatus.EXECUTED
+_BLOCKED = RequestStatus.BLOCKED
+_ABORTED = RequestStatus.ABORTED
+
+
+@dataclass(slots=True)
 class GlobalRequest:
     """Caller-visible result of one routed operation (all replica branches)."""
 
@@ -129,23 +134,36 @@ class GlobalRequest:
     @property
     def executed(self) -> bool:
         """True once every replica branch has executed."""
-        return (
-            not self.failed
-            and bool(self.branch_handles)
-            and all(handle.executed for handle in self.branch_handles.values())
-        )
+        # Explicit loop over handle statuses: this property is the hottest
+        # predicate in the router (checked after every submit and grant), and
+        # the genexpr-plus-``all`` form costs a frame per call.
+        if self.failed:
+            return False
+        handles = self.branch_handles
+        if not handles:
+            return False
+        for handle in handles.values():
+            if handle.status is not _EXECUTED:
+                return False
+        return True
 
     @property
     def blocked(self) -> bool:
-        return not self.failed and any(
-            handle.blocked for handle in self.branch_handles.values()
-        )
+        if self.failed:
+            return False
+        for handle in self.branch_handles.values():
+            if handle.status is _BLOCKED:
+                return True
+        return False
 
     @property
     def aborted(self) -> bool:
-        return self.failed or any(
-            handle.aborted for handle in self.branch_handles.values()
-        )
+        if self.failed:
+            return True
+        for handle in self.branch_handles.values():
+            if handle.status is _ABORTED:
+                return True
+        return False
 
     @property
     def status(self) -> RequestStatus:
@@ -164,15 +182,15 @@ class GlobalRequest:
         """
         if self.value_site is not None:
             handle = self.branch_handles.get(self.value_site)
-            if handle is not None and handle.executed:
+            if handle is not None and handle.status is _EXECUTED:
                 return handle.value
         for handle in self.branch_handles.values():
-            if handle.executed:
+            if handle.status is _EXECUTED:
                 return handle.value
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class GlobalTransaction:
     """Router-side record of one global transaction."""
 
@@ -348,6 +366,10 @@ class TransactionRouter:
         self._local_map: List[Dict[int, int]] = [{} for _ in range(site_count)]
         #: Object name -> type specification (read/write classification).
         self._specs: Dict[str, TypeSpecification] = {}
+        #: Object name -> {op name -> is_read_only}, filled lazily.  The
+        #: submit fast path consults this instead of re-resolving the
+        #: operation spec (and absorbing its try/except) per request.
+        self._read_only_ops: Dict[str, Dict[str, bool]] = {}
         self._listeners: List[SchedulerListener] = []
         self._next_gtid = 0
         #: Where granted operations are charged for hardware/network time
@@ -375,6 +397,7 @@ class TransactionRouter:
         sites = self.placement.sites_for(name)
         replicated = len(sites) > 1
         self._specs[name] = spec
+        self._read_only_ops[name] = {}
         for site_id in sites:
             self.sites[site_id].register_object(
                 name,
@@ -419,18 +442,23 @@ class TransactionRouter:
         fires when the physical phase (CPU/disk service plus any network
         delay) completes.
         """
-        if self._charger is None:
+        charger = self._charger
+        if charger is None:
             raise ReproError("no resource charger attached to the router")
-        transaction = self.transaction(transaction_id)
+        transaction = self.transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionStateError(
+                f"unknown global transaction {transaction_id}"
+            )
         request = transaction.current_request
         if request is None or not request.executed:
             raise TransactionStateError(
                 f"global transaction {transaction.gtid} has no executed "
                 "operation to charge resources for"
             )
-        self._charger.perform_operation(
-            sorted(request.branch_handles), transaction.home_site, done
-        )
+        handles = request.branch_handles
+        executed_sites = list(handles) if len(handles) == 1 else sorted(handles)
+        charger.perform_operation(executed_sites, transaction.home_site, done)
 
     def commit_network_delay(self, transaction_id: int) -> float:
         """Network delay of fanning this transaction's commit to its branches.
@@ -441,7 +469,11 @@ class TransactionRouter:
         """
         if self._charger is None:
             return 0.0
-        transaction = self.transaction(transaction_id)
+        transaction = self.transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionStateError(
+                f"unknown global transaction {transaction_id}"
+            )
         branches = sorted(transaction.branches)
         total = 0.0
         for _ in range(self.commit_protocol.network_rounds):
@@ -562,8 +594,13 @@ class TransactionRouter:
         self, transaction_id: int, object_name: str, invocation: Invocation
     ) -> GlobalRequest:
         """Route a prebuilt invocation to the replicas of ``object_name``."""
-        transaction = self.transaction(transaction_id)
-        transaction.require(TransactionStatus.ACTIVE)
+        transaction = self.transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionStateError(
+                f"unknown global transaction {transaction_id}"
+            )
+        if transaction.status is not TransactionStatus.ACTIVE:
+            transaction.require(TransactionStatus.ACTIVE)
         previous = transaction.current_request
         if previous is not None and previous.blocked:
             # Mirror the centralized scheduler: a transaction whose last
@@ -574,7 +611,8 @@ class TransactionRouter:
                 f"global transaction {transaction.gtid} has a blocked request "
                 f"on {previous.object_name!r}; it cannot issue another operation"
             )
-        if object_name not in self._specs:
+        read_only_ops = self._read_only_ops.get(object_name)
+        if read_only_ops is None:
             raise UnknownObjectError(object_name)
         request = GlobalRequest(
             transaction_id=transaction_id,
@@ -586,16 +624,23 @@ class TransactionRouter:
         # Cross-site cycles can only be closed by a dependency edge added
         # during this fan-out; snapshot the target graphs' mutation counters
         # so the (comparatively expensive) union-graph DFS below can be
-        # skipped for the common conflict-free operation.
-        watched_graphs = (
-            [self.sites[sid].scheduler.graph
-             for sid in placed if self.sites[sid].status.is_up]
-            if self.site_count > 1
-            else []
-        )
-        mutations_before = sum(graph.mutations for graph in watched_graphs)
+        # skipped for the common conflict-free operation.  With one site no
+        # cross-site cycle can exist — skip the snapshot machinery outright.
+        if self.site_count > 1:
+            watched_graphs = [
+                self.sites[sid].scheduler.graph
+                for sid in placed
+                if self.sites[sid].status.is_up
+            ]
+            mutations_before = sum(graph.mutations for graph in watched_graphs)
+        else:
+            watched_graphs = []
+            mutations_before = 0
 
-        if self._is_read_only(object_name, invocation):
+        is_read_only = read_only_ops.get(invocation.op)
+        if is_read_only is None:
+            is_read_only = self._is_read_only(object_name, invocation)
+        if is_read_only:
             # The protocol picks the read replica set: one readable copy
             # under available-copies and primary-copy (stable-hash rotation,
             # least-loaded tie-break), ``R`` copies under quorum consensus.
@@ -650,11 +695,17 @@ class TransactionRouter:
         request.branch_handles[site.site_id] = handle
 
     def _is_read_only(self, object_name: str, invocation: Invocation) -> bool:
-        spec = self._specs[object_name]
-        try:
-            return spec.operation(invocation.op).is_read_only
-        except UnknownOperationError:
-            return False
+        cache = self._read_only_ops[object_name]
+        op = invocation.op
+        cached = cache.get(op)
+        if cached is None:
+            spec = self._specs[object_name]
+            try:
+                cached = spec.operation(op).is_read_only
+            except UnknownOperationError:
+                cached = False
+            cache[op] = cached
+        return cached
 
     def _unavailable(
         self, transaction: GlobalTransaction, request: GlobalRequest
@@ -669,8 +720,13 @@ class TransactionRouter:
         """Commit at every branch; *when* that is durable is the commit
         protocol's call (one-phase: every branch drained; two-phase:
         certification plus the replication protocol's write condition)."""
-        transaction = self.transaction(transaction_id)
-        transaction.require(TransactionStatus.ACTIVE)
+        transaction = self.transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionStateError(
+                f"unknown global transaction {transaction_id}"
+            )
+        if transaction.status is not TransactionStatus.ACTIVE:
+            transaction.require(TransactionStatus.ACTIVE)
         request = transaction.current_request
         if request is not None and request.blocked:
             # Mirror the centralized scheduler: a transaction whose last

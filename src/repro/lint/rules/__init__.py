@@ -6,6 +6,7 @@ from .rep003 import Rep003WallClock
 from .rep004 import Rep004ImportLayering
 from .rep005 import Rep005SeamConformance
 from .rep006 import Rep006CounterSurfacing
+from .rep007 import Rep007SlotlessHotClass
 
 #: Every registered rule, in id order; the runner instantiates these.
 ALL_RULES = (
@@ -15,6 +16,7 @@ ALL_RULES = (
     Rep004ImportLayering,
     Rep005SeamConformance,
     Rep006CounterSurfacing,
+    Rep007SlotlessHotClass,
 )
 
 __all__ = [
@@ -25,4 +27,5 @@ __all__ = [
     "Rep004ImportLayering",
     "Rep005SeamConformance",
     "Rep006CounterSurfacing",
+    "Rep007SlotlessHotClass",
 ]

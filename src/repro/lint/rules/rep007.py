@@ -1,0 +1,156 @@
+"""REP007 — classes instantiated on per-event paths must declare ``__slots__``.
+
+The simulator's hot loop allocates objects per event, per request and per
+transaction; a class without ``__slots__`` pays an extra ``__dict__``
+allocation on every instance, which is exactly the overhead the hot-loop
+optimization pass removed.  This rule keeps it removed: any class *defined*
+in ``repro.sim`` / ``repro.distributed`` and *instantiated* inside a
+function body of those packages (i.e. at simulation time, not at module
+import) must declare ``__slots__`` — directly or via
+``@dataclass(slots=True)``.
+
+Construction inside ``__init__`` / ``__post_init__`` is setup wiring, not a
+per-event path, and is not checked.  Classes that are allocated a bounded
+number of times per *run* (engines, routers, protocol objects, frozen
+result values) are allow-listed below; genuinely deliberate exceptions can
+use the standard pragma (``# repro-lint: disable=REP007``) on the
+instantiation line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Set
+
+from ..base import Project, Rule, SourceFile, Violation
+
+__all__ = ["Rep007SlotlessHotClass"]
+
+#: Packages whose classes and call sites the rule examines.
+_CHECKED_PREFIXES = ("repro.sim", "repro.distributed")
+
+#: Classes allocated per *run* (or per rare control event), not per event:
+#: the ``__dict__`` cost is paid a bounded number of times regardless of the
+#: simulated workload, so slots would buy nothing.
+_ALLOWED_CLASS_NAMES = {
+    "RandomSource",              # one per seeded stream (spawned at setup)
+    "RunMetrics",                # frozen once per run by MetricsCollector.freeze
+    "MetricsCollector",          # one per run
+    "SimulationEngine",          # one per run
+    "Simulation",                # one per run
+    "TransactionRouter",         # one per run (built by the routing seam)
+    "FifoServer",                # per resource unit at setup (has slots anyway)
+    "ReadWriteWorkload",         # one per run (make_workload factory)
+    "AbstractDataTypeWorkload",  # one per run (make_workload factory)
+    "GlobalResourceModel",       # one per run (make_resource_charger factory)
+    "PerSiteResources",          # one per run (make_resource_charger factory)
+    "QuorumConsensus",           # one per run (replication-protocol factory)
+    "TwoPhase",                  # one per run (commit-protocol factory)
+    "_Registration",             # one per (object, site) at registration time
+}
+
+#: Base-class names whose subclasses are exempt: enums keep their members on
+#: the class, exceptions need ``args``/``__dict__`` machinery, and typing
+#: protocols are never instantiated.
+_EXEMPT_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "Protocol", "NamedTuple"}
+
+
+def _is_dataclass_with_slots(decorator: ast.expr) -> bool:
+    """True for ``@dataclass(..., slots=True)``."""
+    if not isinstance(decorator, ast.Call):
+        return False
+    name = decorator.func
+    target = name.attr if isinstance(name, ast.Attribute) else getattr(name, "id", None)
+    if target != "dataclass":
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "slots" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _declares_slots(class_def: ast.ClassDef) -> bool:
+    for statement in class_def.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return any(_is_dataclass_with_slots(d) for d in class_def.decorator_list)
+
+
+def _is_exempt(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", None)
+        if name is None:
+            continue
+        if name in _EXEMPT_BASES or name.endswith(("Error", "Exception", "Warning")):
+            return True
+    return False
+
+
+class Rep007SlotlessHotClass(Rule):
+    id = "REP007"
+    summary = "slotless class instantiated on a per-event path"
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        slotless: Dict[str, str] = {}  # class name -> defining module
+        for source, node in project.walk():
+            if not source.module.startswith(_CHECKED_PREFIXES):
+                continue
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in _ALLOWED_CLASS_NAMES:
+                continue
+            if _declares_slots(node) or _is_exempt(node):
+                continue
+            slotless[node.name] = source.module
+        if not slotless:
+            return
+        for source in project.files:
+            if not source.module.startswith(_CHECKED_PREFIXES):
+                continue
+            yield from self._check_calls(source, slotless)
+
+    def _check_calls(
+        self, source: SourceFile, slotless: Dict[str, str]
+    ) -> Iterator[Violation]:
+        #: Call sites inside setup methods are not per-event paths.
+        setup_lines: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in ("__init__", "__post_init__")
+            ):
+                for inner in ast.walk(node):
+                    lineno = getattr(inner, "lineno", None)
+                    if lineno is not None:
+                        setup_lines.add(lineno)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in ("__init__", "__post_init__"):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                if not isinstance(inner.func, ast.Name):
+                    continue
+                name = inner.func.id
+                if name not in slotless or inner.lineno in setup_lines:
+                    continue
+                yield Violation(
+                    rule=self.id,
+                    path=source.path,
+                    line=inner.lineno,
+                    message=(
+                        f"class {name} (defined in {slotless[name]}) is "
+                        "instantiated on a per-event path but declares no "
+                        "__slots__; add __slots__ (or dataclass(slots=True)), "
+                        "allow-list it in rep007.py if it is per-run, or "
+                        "suppress with '# repro-lint: disable=REP007'"
+                    ),
+                )

@@ -5,6 +5,12 @@ priority queue of ``(time, sequence, callback)`` entries, a simulation clock,
 and a stop predicate.  Nothing here is specific to concurrency control; the
 engine is reused by the resource model (CPU/disk service completions), the
 terminals (think-time expirations), and the simulator itself.
+
+The heap stores the bare callback in the tuple — no wrapper object is
+allocated on the (very hot) schedule path, and the heap sift compares plain
+``(float, int)`` prefixes at C speed.  Cancellation is the exception, not the
+rule: callers that need it use :meth:`EventEngine.schedule_cancellable`, which
+pushes a :class:`ScheduledEvent` wrapper the pop loop knows to unwrap.
 """
 
 from __future__ import annotations
@@ -18,12 +24,12 @@ __all__ = ["ScheduledEvent", "EventEngine"]
 
 
 class ScheduledEvent:
-    """An entry of the event queue.
+    """A cancellable entry of the event queue.
 
+    Only cancellable events pay for this wrapper; plain :meth:`EventEngine.
+    schedule` calls push their callback straight into the heap tuple.
     Ordering is by time, then by insertion sequence (FIFO among simultaneous
-    events), which keeps runs deterministic.  The heap itself stores plain
-    ``(time, sequence, event)`` tuples so that the (very hot) heap sift
-    compares tuples at C speed instead of calling back into Python.
+    events), which keeps runs deterministic.
     """
 
     __slots__ = ("time", "sequence", "callback", "cancelled")
@@ -38,12 +44,15 @@ class ScheduledEvent:
         """Mark the event so the engine skips it when it is popped."""
         self.cancelled = True
 
+    def __call__(self) -> None:
+        self.callback()
+
 
 class EventEngine:
     """Priority-queue driven simulation clock."""
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self.now = 0.0
         self.events_processed = 0
@@ -51,18 +60,27 @@ class EventEngine:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
-        return self.schedule_at(self.now + delay, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule an event at {time} before the current time {self.now}"
             )
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+
+    def schedule_cancellable(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        time = self.now + delay
         self._sequence += 1
         event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
         heapq.heappush(self._queue, (time, self._sequence, event))
@@ -73,13 +91,16 @@ class EventEngine:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            _, _, event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        queue = self._queue
+        while queue:
+            time, _, callback = heapq.heappop(queue)
+            if callback.__class__ is ScheduledEvent:
+                if callback.cancelled:  # type: ignore[attr-defined]
+                    continue
+                callback = callback.callback  # type: ignore[attr-defined]
+            self.now = time
             self.events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -93,13 +114,30 @@ class EventEngine:
         ``max_events`` is a safety valve against configuration errors (it
         raises rather than looping forever).
         """
+        # The pop loop is inlined (rather than calling ``step`` per event)
+        # and the hot attributes are hoisted into locals: this method *is*
+        # the simulation's innermost loop.
+        queue = self._queue
+        heappop = heapq.heappop
         processed = 0
         while until is None or not until():
             if max_events is not None and processed >= max_events:
                 raise SimulationError(
                     f"simulation exceeded the safety limit of {max_events} events"
                 )
-            if not self.step():
+            stepped = False
+            while queue:
+                time, _, callback = heappop(queue)
+                if callback.__class__ is ScheduledEvent:
+                    if callback.cancelled:  # type: ignore[attr-defined]
+                        continue
+                    callback = callback.callback  # type: ignore[attr-defined]
+                self.now = time
+                self.events_processed += 1
+                callback()
+                stepped = True
+                break
+            if not stepped:
                 if until is not None and not until():
                     raise SimulationError(
                         "event queue drained before the stop condition was met"
@@ -109,4 +147,8 @@ class EventEngine:
 
     def pending(self) -> int:
         """Number of (non-cancelled) events still queued."""
-        return sum(1 for _, _, event in self._queue if not event.cancelled)
+        return sum(
+            1
+            for _, _, callback in self._queue
+            if not (callback.__class__ is ScheduledEvent and callback.cancelled)  # type: ignore[attr-defined]
+        )

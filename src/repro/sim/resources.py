@@ -59,6 +59,8 @@ class FifoServer:
     capacity it models the shared CPU pool.
     """
 
+    __slots__ = ("name", "capacity", "free", "queue", "waits", "served")
+
     def __init__(self, name: str, capacity: int):
         self.name = name
         self.capacity = capacity
@@ -100,6 +102,49 @@ class FifoServer:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FifoServer {self.name!r} busy={self.busy}/{self.capacity} queued={len(self.queue)}>"
+
+
+class _StepCharge:
+    """The finite-resource phase of one operation: CPU service, then disk.
+
+    One per-operation object batches the whole charge pipeline; its bound
+    methods are the engine/server callbacks, replacing the four closures
+    (and their cells) the pipeline used to allocate per granted operation.
+    The acquire/schedule/release sequence — including the point at which the
+    disk rng draw happens — is exactly the closure pipeline's, so event and
+    rng streams are unchanged.
+    """
+
+    __slots__ = ("domain", "done", "disk")
+
+    def __init__(self, domain: "ResourceDomain", done: Callable[[], None]):
+        self.domain = domain
+        self.done = done
+        self.disk: Optional[FifoServer] = None
+        cpus = domain.cpus
+        assert cpus is not None
+        cpus.acquire(self._got_cpu)
+
+    def _got_cpu(self) -> None:
+        domain = self.domain
+        domain.engine.schedule(domain.cpu_time, self._cpu_finished)
+
+    def _cpu_finished(self) -> None:
+        domain = self.domain
+        assert domain.cpus is not None
+        domain.cpus.release()
+        disk = self.disk = domain._choose_disk()
+        disk.acquire(self._got_disk)
+
+    def _got_disk(self) -> None:
+        domain = self.domain
+        domain.engine.schedule(domain.io_time, self._io_finished)
+
+    def _io_finished(self) -> None:
+        disk = self.disk
+        assert disk is not None
+        disk.release()
+        self.done()
 
 
 class ResourceDomain:
@@ -172,22 +217,7 @@ class ResourceDomain:
         if self.cpus is None:
             self.engine.schedule(self.step_time, done)
             return
-        self._acquire_cpu(done)
-
-    # ------------------------------------------------------------------
-    # Finite-resource pipeline
-    # ------------------------------------------------------------------
-    def _acquire_cpu(self, done: Callable[[], None]) -> None:
-        def got_cpu() -> None:
-            self.engine.schedule(self.cpu_time, cpu_finished)
-
-        def cpu_finished() -> None:
-            assert self.cpus is not None
-            self.cpus.release()
-            self._acquire_disk(done)
-
-        assert self.cpus is not None
-        self.cpus.acquire(got_cpu)
+        _StepCharge(self, done)
 
     def _choose_disk(self) -> FifoServer:
         # A single-disk domain has no choice to make: skip the rng draw so
@@ -196,18 +226,6 @@ class ResourceDomain:
         if self._single_disk_shortcut and len(self.disks) == 1:
             return self.disks[0]
         return self.rng.choice(self.disks)
-
-    def _acquire_disk(self, done: Callable[[], None]) -> None:
-        disk = self._choose_disk()
-
-        def got_disk() -> None:
-            self.engine.schedule(self.io_time, io_finished)
-
-        def io_finished() -> None:
-            disk.release()
-            done()
-
-        disk.acquire(got_disk)
 
     # ------------------------------------------------------------------
     def utilisation_summary(self) -> Dict[str, object]:

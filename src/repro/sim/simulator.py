@@ -76,7 +76,7 @@ _BACKOFF_ATTEMPTS = 8
 _BACKOFF_CAP = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class LogicalTransaction:
     """A terminal-submitted transaction, surviving across restarts.
 

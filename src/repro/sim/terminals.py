@@ -19,7 +19,7 @@ from .random_source import RandomSource
 __all__ = ["Terminal", "TerminalPool"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Terminal:
     """One interactive terminal."""
 

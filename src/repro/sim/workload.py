@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionTemplate:
     """The fixed operation list of one logical transaction."""
 

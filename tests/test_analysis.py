@@ -1,9 +1,14 @@
 """Tests for the experiment harness, figure registry, tables, and reporting."""
 
+import pathlib
+import re
+
 import pytest
 
 from repro.analysis import (
+    ABLATION_BUILDERS,
     BENCH_SCALE,
+    EXPERIMENT_REGISTRY,
     PAPER_SCALE,
     SMOKE_SCALE,
     AveragedMetrics,
@@ -128,6 +133,84 @@ class TestRunExperiment:
         run_experiment(tiny_spec(mpl_levels=(5,)), progress=lines.append)
         assert len(lines) == 2
         assert all("test-exp" in line for line in lines)
+
+
+class TestParallelRunner:
+    def test_parallel_points_match_serial_exactly(self):
+        spec = tiny_spec()
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=2)
+        assert parallel.points == serial.points
+
+    def test_parallel_preserves_progress_ordering(self):
+        serial_lines, parallel_lines = [], []
+        spec = tiny_spec(mpl_levels=(5,))
+        run_experiment(spec, progress=serial_lines.append, workers=1)
+        run_experiment(spec, progress=parallel_lines.append, workers=2)
+        assert parallel_lines == serial_lines
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment(tiny_spec(), workers=0)
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_figures_tables_and_ablations(self):
+        ids = EXPERIMENT_REGISTRY.ids()
+        assert set(all_figure_ids()) <= set(ids)
+        assert set(ABLATION_BUILDERS) <= set(ids)
+        assert "tables" in ids
+        assert len(EXPERIMENT_REGISTRY) == len(all_figure_ids()) + len(ABLATION_BUILDERS) + 1
+
+    def test_every_benchmark_figure_module_has_a_registry_entry(self):
+        """Completeness: every benchmarks/test_fig*.py id is registered."""
+        benchmarks = pathlib.Path(__file__).parent.parent / "benchmarks"
+        modules = sorted(benchmarks.glob("test_fig*.py"))
+        assert modules, "no figure benchmark modules found"
+        for module in modules:
+            match = re.fullmatch(r"test_fig(\d+)(?:_(\w+))?\.py", module.name)
+            assert match, module.name
+            figure_id = f"figure-{int(match.group(1))}"
+            if match.group(2):
+                figure_id += "-" + match.group(2).replace("_", "-")
+            assert figure_id in EXPERIMENT_REGISTRY, figure_id
+
+    def test_runnable_ids_excludes_tables(self):
+        runnable = EXPERIMENT_REGISTRY.runnable_ids()
+        assert "tables" not in runnable
+        assert set(runnable) == set(EXPERIMENT_REGISTRY.ids()) - {"tables"}
+
+    def test_distributed_figures_are_kinded(self):
+        for experiment_id in (
+            "figure-4-sites", "figure-4-sites-scaling",
+            "figure-4-protocols", "figure-4-commit",
+        ):
+            assert EXPERIMENT_REGISTRY.entry(experiment_id).kind == "distributed"
+        assert EXPERIMENT_REGISTRY.entry("figure-4-2pl").kind == "baseline"
+        assert EXPERIMENT_REGISTRY.entry("figure-4").kind == "figure"
+
+    def test_unknown_id_raises_with_known_ids_listed(self):
+        with pytest.raises(ExperimentError, match="figure-4"):
+            EXPERIMENT_REGISTRY.entry("figure-99")
+
+    def test_spec_on_tables_entry_raises(self):
+        with pytest.raises(ExperimentError, match="tables"):
+            EXPERIMENT_REGISTRY.spec("tables")
+
+    def test_spec_builds_and_validates_for_every_runnable_id(self):
+        for experiment_id in EXPERIMENT_REGISTRY.runnable_ids():
+            spec = EXPERIMENT_REGISTRY.spec(experiment_id, SMOKE_SCALE)
+            spec.validate()
+            assert spec.experiment_id == experiment_id
+
+    def test_ablation_specs_match_their_design(self):
+        slot = EXPERIMENT_REGISTRY.spec("ablation-pseudo-commit-slot", SMOKE_SCALE)
+        assert {variant.label for variant in slot.variants} == {
+            "holds-slot", "releases-slot"
+        }
+        write = EXPERIMENT_REGISTRY.spec("ablation-write-probability", SMOKE_SCALE)
+        assert len(write.variants) == 6
+        assert write.mpl_levels == (100,)
 
 
 class TestReporting:

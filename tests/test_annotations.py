@@ -1,11 +1,12 @@
 """Annotation-completeness guard for the strict-typed packages.
 
 CI runs mypy with ``disallow_untyped_defs``/``disallow_incomplete_defs``
-over ``repro.sim`` and ``repro.distributed`` (see ``[tool.mypy]`` in
-pyproject.toml).  mypy is not part of the runtime environment, so this test
-enforces the same surface with the stdlib ``ast`` module: every function in
-the two packages must annotate its return type and all of its parameters.
-A regression here is exactly what would turn the CI mypy job red.
+over ``repro.sim``, ``repro.distributed`` and ``repro.analysis`` (see
+``[tool.mypy]`` in pyproject.toml).  mypy is not part of the runtime
+environment, so this test enforces the same surface with the stdlib ``ast``
+module: every function in the strict packages must annotate its return type
+and all of its parameters.  A regression here is exactly what would turn
+the CI mypy job red.
 """
 
 import ast
@@ -14,7 +15,7 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-STRICT_PACKAGES = ("sim", "distributed")
+STRICT_PACKAGES = ("sim", "distributed", "analysis")
 
 
 def _missing_annotations(tree):

@@ -38,10 +38,33 @@ def test_writes_deterministic_counters_for_one_figure(bench_summary, tmp_path):
     assert point["completions"] >= 150
 
 
+def _deterministic(payload):
+    """Everything except the host-dependent ``timing`` block."""
+    return {key: value for key, value in payload.items() if key != "timing"}
+
+
 def test_counters_are_reproducible(bench_summary, tmp_path):
     first = bench_summary.summarize(["figure-4"], "smoke")
     second = bench_summary.summarize(["figure-4"], "smoke")
-    assert first == second
+    assert _deterministic(first) == _deterministic(second)
+
+
+def test_timing_block_records_wall_clock_and_workers(bench_summary):
+    payload = bench_summary.summarize(["figure-4"], "smoke", workers=1)
+    timing = payload["timing"]
+    assert timing["workers"] == 1
+    assert set(timing["seconds"]) == {"figure-4"}
+    assert timing["seconds"]["figure-4"] > 0
+    assert timing["total_seconds"] == pytest.approx(
+        sum(timing["seconds"].values()), abs=0.01
+    )
+
+
+def test_parallel_counters_match_serial(bench_summary):
+    serial = bench_summary.summarize(["figure-4"], "smoke", workers=1)
+    parallel = bench_summary.summarize(["figure-4"], "smoke", workers=2)
+    assert serial["figures"] == parallel["figures"]
+    assert parallel["timing"]["workers"] == 2
 
 
 def test_unknown_figure_is_rejected(bench_summary, tmp_path):
@@ -55,6 +78,6 @@ def test_lint_summary_rides_along(bench_summary):
     lint = bench_summary.lint_summary()
     assert lint["total"] == 0
     assert set(lint["rule_counts"]) == {
-        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
     }
     assert all(count == 0 for count in lint["rule_counts"].values())

@@ -51,6 +51,82 @@ class TestFigureCommand:
             run_cli("figure", "figure-99")
 
 
+class TestFiguresCommand:
+    def test_list_shows_every_registry_entry(self):
+        from repro.analysis import EXPERIMENT_REGISTRY
+
+        code, text = run_cli("figures", "--list")
+        assert code == 0
+        for experiment_id in EXPERIMENT_REGISTRY.ids():
+            assert experiment_id in text
+        assert "[distributed]" in text and "[tables]" in text
+
+    def test_only_with_workers_and_out(self, tmp_path):
+        code, text = run_cli(
+            "figures", "--only", "ablation-pseudo-commit-slot",
+            "--workers", "2", "--scale", "smoke", "--out", str(tmp_path),
+        )
+        assert code == 0
+        assert "holds-slot" in text
+        saved = (tmp_path / "ablation-pseudo-commit-slot.txt").read_text()
+        assert "summary (throughput)" in saved
+
+    def test_parallel_report_matches_serial(self, tmp_path):
+        argv = ("figures", "--only", "figure-4", "--scale", "smoke")
+        _, serial = run_cli(*argv)
+        _, parallel = run_cli(*argv, "--workers", "2")
+        assert parallel == serial
+
+    def test_tables_entry_renders_table_report(self):
+        code, text = run_cli("figures", "--only", "tables")
+        assert code == 0
+        assert "Table I" in text and "database_size" in text
+
+    def test_unknown_id_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("figures", "--only", "figure-99")
+        assert excinfo.value.code == 2
+        assert "figure-99" in capsys.readouterr().err
+
+    def test_bad_worker_count_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("figures", "--only", "figure-4", "--workers", "0")
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_reports_deterministic_call_counts(self):
+        argv = (
+            "profile",
+            "--mpl", "6",
+            "--completions", "40",
+            "--database-size", "40",
+            "--top", "10",
+        )
+        code, text = run_cli(*argv)
+        assert code == 0
+        assert "calls/event" in text
+        assert "events_processed" in text
+        # Call counts derive only from (parameters, seed): byte-identical.
+        _, again = run_cli(*argv)
+        assert again == text
+
+    def test_raw_flag_appends_pstats(self):
+        code, text = run_cli(
+            "profile", "--mpl", "4", "--completions", "20",
+            "--database-size", "40", "--raw",
+        )
+        assert code == 0
+        assert "cumulative" in text
+
+    def test_bad_top_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("profile", "--top", "0")
+        assert excinfo.value.code == 2
+        assert "--top" in capsys.readouterr().err
+
+
 class TestSimulateCommand:
     def test_prints_all_metrics(self):
         code, text = run_cli(

@@ -306,6 +306,104 @@ class TestRep006:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — per-event-path classes must declare __slots__
+# ---------------------------------------------------------------------------
+class TestRep007:
+    def test_catches_slotless_class_instantiated_in_method(self):
+        bad = (
+            "class Token:\n"
+            "    pass\n"
+            "class Engine:\n"
+            "    def fire(self):\n"
+            "        return Token()\n"
+        )
+        assert "REP007" in rules_in({"src/repro/sim/x.py": bad})
+
+    def test_catches_cross_file_instantiation(self):
+        sources = {
+            "src/repro/distributed/a.py": "class Branch:\n    pass\n",
+            "src/repro/distributed/b.py": (
+                "from .a import Branch\n"
+                "def submit():\n"
+                "    return Branch()\n"
+            ),
+        }
+        assert "REP007" in rules_in(sources)
+
+    def test_allows_slots_class(self):
+        good = (
+            "class Token:\n"
+            "    __slots__ = ('value',)\n"
+            "class Engine:\n"
+            "    def fire(self):\n"
+            "        return Token()\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_dataclass_with_slots(self):
+        good = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True, slots=True)\n"
+            "class Token:\n"
+            "    value: int\n"
+            "def fire():\n"
+            "    return Token(1)\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_instantiation_in_init(self):
+        # __init__ is setup wiring, not a per-event path.
+        good = (
+            "class Queue:\n"
+            "    pass\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.queue = Queue()\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_allow_listed_per_run_class(self):
+        good = (
+            "class RunMetrics:\n"
+            "    pass\n"
+            "class Collector:\n"
+            "    def freeze(self):\n"
+            "        return RunMetrics()\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/metrics.py": good})
+
+    def test_allows_exception_and_enum_subclasses(self):
+        good = (
+            "from enum import Enum\n"
+            "class Status(Enum):\n"
+            "    OK = 1\n"
+            "class SimError(ValueError):\n"
+            "    pass\n"
+            "def f():\n"
+            "    raise SimError(Status.OK)\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_outside_sim_distributed_not_checked(self):
+        code = (
+            "class Token:\n"
+            "    pass\n"
+            "def fire():\n"
+            "    return Token()\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/core/x.py": code})
+
+    def test_pragma_suppresses(self):
+        code = (
+            "class Token:\n"
+            "    pass\n"
+            "def fire():\n"
+            "    return Token()  # repro-lint: disable=REP007\n"
+        )
+        assert "REP007" not in rules_in({"src/repro/sim/x.py": code})
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 # ---------------------------------------------------------------------------
 class TestPragma:
@@ -342,7 +440,7 @@ class TestRepoTree:
         assert set(payload) == {"checked_files", "counts", "violations"}
         assert payload["violations"] == []
         assert set(payload["counts"]) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
         }
         assert payload["checked_files"] > 20
 

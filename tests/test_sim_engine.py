@@ -42,12 +42,26 @@ class TestEventEngine:
     def test_cancelled_events_are_skipped(self):
         engine = EventEngine()
         fired = []
-        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        event = engine.schedule_cancellable(1.0, lambda: fired.append("cancelled"))
         engine.schedule(2.0, lambda: fired.append("kept"))
         event.cancel()
         engine.run()
         assert fired == ["kept"]
         assert engine.events_processed == 1
+        assert engine.pending() == 0
+
+    def test_cancellable_negative_delay_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_cancellable(-1.0, lambda: None)
+
+    def test_cancellable_event_fires_when_not_cancelled(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_cancellable(1.0, lambda: fired.append("kept"))
+        assert engine.pending() == 1
+        engine.run()
+        assert fired == ["kept"]
 
     def test_run_until_predicate(self):
         engine = EventEngine()

@@ -1,4 +1,4 @@
-"""Write BENCH_summary.json: deterministic per-figure counters.
+"""Write BENCH_summary.json: deterministic per-figure counters + timing.
 
 The pytest-benchmark output (BENCH_results.json) records wall-clock times,
 which vary run to run and machine to machine.  This tool records the
@@ -10,9 +10,15 @@ produce different counters changed behaviour, not noise.
 Usage (from the repository root)::
 
     python tools/bench_summary.py                       # all figures, smoke scale
-    python tools/bench_summary.py --scale bench
+    python tools/bench_summary.py --scale bench --workers 4
     python tools/bench_summary.py --figures figure-4 figure-4-sites
     python tools/bench_summary.py --output BENCH_summary.json
+
+Every experiment runs through the central registry's parallel runner
+(:func:`repro.analysis.run_experiment`); ``--workers N`` fans the seeded
+points out over N processes and produces byte-identical counters to the
+serial run — only the new ``timing`` block (per-experiment wall-clock
+seconds plus the worker count) depends on the host.
 
 Counters recorded per point (summed over the point's runs): completions,
 commits, pseudo-commits, blocks, restarts, cycle checks, aborts, total abort
@@ -28,8 +34,8 @@ cycle sweeps, the under-replication window) and the ``commit_*`` counters
 re-replication work, forced reports), so each protocol's coordination
 overhead is tracked per PR — ``figure-4-protocols`` and
 ``figure-4-commit`` are the experiments built around them.  Every value
-derives only from ``(parameters, seed)``; nothing here measures the host
-machine.
+except the ``timing`` block derives only from ``(parameters, seed)``;
+nothing else measures the host machine.
 """
 
 from __future__ import annotations
@@ -38,20 +44,23 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Dict, List
+import time
+from typing import Dict
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.analysis.figures import (  # noqa: E402  (path bootstrap above)
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    EXPERIMENT_REGISTRY,
+    run_experiment,
+)
+from repro.analysis.figures import (  # noqa: E402
     BENCH_SCALE,
     PAPER_SCALE,
     SMOKE_SCALE,
     all_figure_ids,
-    figure_spec,
 )
 from repro.lint import lint_paths, rule_counts  # noqa: E402
-from repro.sim.simulator import run_simulation  # noqa: E402
 
 _SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
 
@@ -70,47 +79,54 @@ def lint_summary() -> Dict[str, object]:
     }
 
 
-def _point_counters(metrics_list) -> Dict[str, float]:
-    """Sum the deterministic counters of one point's runs.
+def _point_counters(point) -> Dict[str, float]:
+    """The deterministic counters of one point (summed over its runs).
 
     The counter set comes from :meth:`repro.sim.metrics.RunMetrics.counters`
-    (the single source of truth), plus the deterministic simulated time.
+    (the single source of truth) via ``AveragedMetrics.counters``, plus the
+    deterministic simulated time and the run count.
     """
-    counters: Dict[str, float] = {"runs": len(metrics_list), "simulated_time": 0.0}
-    for metrics in metrics_list:
-        for name, value in metrics.counters().items():
-            counters[name] = counters.get(name, 0) + value
-        counters["simulated_time"] += metrics.simulated_time
-    counters["simulated_time"] = round(counters["simulated_time"], 6)
+    counters: Dict[str, float] = dict(point.counters)
+    counters["runs"] = point.runs
+    counters["simulated_time"] = round(point.simulated_time, 6)
     return counters
 
 
-def summarize(figure_ids: List[str], scale_name: str) -> Dict[str, object]:
-    """Run every requested figure and collect its deterministic counters."""
+def summarize(figure_ids, scale_name, workers=1) -> Dict[str, object]:
+    """Run every requested experiment and collect its counters and timing.
+
+    Everything in the returned payload except the ``timing`` block is
+    deterministic: byte-identical for any ``workers`` value, on any host.
+    """
     scale = _SCALES[scale_name]
     figures: Dict[str, object] = {}
+    seconds: Dict[str, float] = {}
     for figure_id in figure_ids:
-        spec = figure_spec(figure_id, scale)
+        spec = EXPERIMENT_REGISTRY.spec(figure_id, scale)
+        started = time.perf_counter()
+        result = run_experiment(spec, workers=workers)
+        seconds[figure_id] = round(time.perf_counter() - started, 3)
         variants: Dict[str, Dict[str, Dict[str, float]]] = {}
         for variant in spec.variants:
-            per_level: Dict[str, Dict[str, float]] = {}
-            for mpl_level in spec.mpl_levels:
-                run_results = []
-                for run_index in range(spec.runs):
-                    params = spec.base_params.replace(
-                        mpl_level=mpl_level,
-                        seed=spec.base_params.seed + run_index,
-                        **dict(variant.overrides),
-                    )
-                    run_results.append(
-                        run_simulation(params, workload_kind=spec.workload)
-                    )
-                per_level[str(mpl_level)] = _point_counters(run_results)
-            variants[variant.label] = per_level
+            variants[variant.label] = {
+                str(mpl_level): _point_counters(point)
+                for mpl_level, point in result.points[variant.label].items()
+            }
         figures[figure_id] = {"title": spec.title, "points": variants}
         print(f"  {figure_id}: {len(spec.variants)} variants x "
-              f"{len(spec.mpl_levels)} mpl levels", flush=True)
-    return {"scale": scale_name, "figures": figures, "lint": lint_summary()}
+              f"{len(spec.mpl_levels)} mpl levels "
+              f"({seconds[figure_id]:.3f}s)", flush=True)
+    timing = {
+        "workers": workers,
+        "seconds": seconds,
+        "total_seconds": round(sum(seconds.values()), 3),
+    }
+    return {
+        "scale": scale_name,
+        "figures": figures,
+        "lint": lint_summary(),
+        "timing": timing,
+    }
 
 
 def main(argv=None) -> int:
@@ -118,17 +134,24 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     parser.add_argument("--figures", nargs="+", default=None,
                         metavar="FIGURE", help="restrict to these figure ids")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the point fan-out "
+                             "(counters are identical for any value)")
     parser.add_argument("--output", type=pathlib.Path,
                         default=ROOT / "BENCH_summary.json")
     arguments = parser.parse_args(argv)
+    if arguments.workers < 1:
+        parser.error(f"--workers must be >= 1, got {arguments.workers}")
     figure_ids = arguments.figures if arguments.figures else all_figure_ids()
-    unknown = sorted(set(figure_ids) - set(all_figure_ids()))
+    unknown = sorted(set(figure_ids) - set(EXPERIMENT_REGISTRY.runnable_ids()))
     if unknown:
-        parser.error(f"unknown figures: {unknown}; known: {all_figure_ids()}")
-    summary = summarize(figure_ids, arguments.scale)
+        parser.error(f"unknown figures: {unknown}; known: "
+                     f"{EXPERIMENT_REGISTRY.runnable_ids()}")
+    summary = summarize(figure_ids, arguments.scale, workers=arguments.workers)
     arguments.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.output} ({len(summary['figures'])} figures, "
-          f"scale={arguments.scale})")
+          f"scale={arguments.scale}, workers={arguments.workers}, "
+          f"{summary['timing']['total_seconds']:.3f}s)")
     return 0
 
 
