@@ -15,15 +15,34 @@ from __future__ import annotations
 
 import cProfile
 import io
+import json
+import pathlib
 import pstats
+import re
+import sys
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, Dict, Tuple, Union
 
 from ..sim.metrics import RunMetrics
 from ..sim.params import SimulationParameters
 from ..sim.simulator import run_simulation
 
-__all__ = ["ProfileReport", "profile_simulation"]
+__all__ = [
+    "ProfileReport",
+    "ProfileComparison",
+    "profile_simulation",
+    "load_profile",
+    "compare_profiles",
+]
+
+#: Format tag written into saved profiles, checked on load.
+_PROFILE_SCHEMA = "repro-profile-v1"
+
+
+#: ``repr``-style object addresses cProfile embeds in some builtin-call
+#: entries (``<function Random.seed at 0x7f...>``) — per-process noise that
+#: would keep a saved baseline from ever row-matching a fresh run.
+_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
 
 
 def _shorten(filename: str) -> str:
@@ -81,6 +100,147 @@ class ProfileReport:
                       self.raw_stats.rstrip()]
         return "\n".join(lines)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The deterministic portion of the report as a JSON-safe dict.
+
+        Everything here is reproducible from ``(parameters, seed, python
+        minor version)``; the wall-clock pstats table is deliberately left
+        out.  The interpreter version is recorded because builtin-call counts
+        shift between minor versions — ``compare_profiles`` flags mismatched
+        baselines instead of reporting a phantom regression.
+        """
+        return {
+            "schema": _PROFILE_SCHEMA,
+            "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+            "workload": self.workload,
+            "policy": self.params.policy.value,
+            "mpl": self.params.mpl_level,
+            "completions": self.params.total_completions,
+            "database_size": self.params.database_size,
+            "seed": self.params.seed,
+            "events_processed": self.metrics.events_processed,
+            "total_calls": self.total_calls,
+            "calls_per_event": round(self.calls_per_event, 4),
+            "functions": [[ncalls, location] for ncalls, location in self.rows],
+        }
+
+    def save(self, path: Union[str, "pathlib.Path"]) -> None:
+        """Write :meth:`to_json_dict` to ``path`` (for later ``--compare``)."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    """A deterministic call-count diff of two saved profiles (A -> B)."""
+
+    label_a: str
+    label_b: str
+    python_a: str
+    python_b: str
+    events_a: int
+    events_b: int
+    total_calls_a: int
+    total_calls_b: int
+    #: ``(delta, calls_a, calls_b, location)`` rows over the union of
+    #: functions, largest absolute delta first (ties by location).
+    rows: Tuple[Tuple[int, int, int, str], ...]
+
+    @property
+    def calls_per_event_a(self) -> float:
+        return self.total_calls_a / self.events_a if self.events_a else 0.0
+
+    @property
+    def calls_per_event_b(self) -> float:
+        return self.total_calls_b / self.events_b if self.events_b else 0.0
+
+    @property
+    def delta_pct(self) -> float:
+        """Relative change of calls/event from A to B (positive = regression)."""
+        if self.calls_per_event_a == 0.0:
+            return 0.0
+        return (
+            (self.calls_per_event_b - self.calls_per_event_a)
+            / self.calls_per_event_a
+            * 100.0
+        )
+
+    def regressed(self, regress_pct: float) -> bool:
+        """True when B's calls/event exceeds A's by more than ``regress_pct``."""
+        return self.delta_pct > regress_pct
+
+    def render(self, top: int = 25) -> str:
+        """Header plus the top-N per-function delta table."""
+        lines = [
+            f"A: {self.label_a}  (python {self.python_a})",
+            f"B: {self.label_b}  (python {self.python_b})",
+            f"calls/event: {self.calls_per_event_a:.2f} -> "
+            f"{self.calls_per_event_b:.2f}  ({self.delta_pct:+.2f}%)",
+            f"total calls: {self.total_calls_a} -> {self.total_calls_b}  "
+            f"(events {self.events_a} -> {self.events_b})",
+        ]
+        if self.python_a != self.python_b:
+            lines.append(
+                "warning: profiles were recorded on different interpreter "
+                "versions; builtin call counts are not comparable"
+            )
+        shown = [row for row in self.rows if row[0] != 0][:top]
+        if not shown:
+            lines += ["", "no per-function call-count changes"]
+            return "\n".join(lines)
+        lines += ["", f"top {len(shown)} call-count deltas (B - A):"]
+        width = max(len(f"{delta:+d}") for delta, _, _, _ in shown)
+        for delta, calls_a, calls_b, location in shown:
+            lines.append(
+                f"  {f'{delta:+d}'.rjust(width)}  "
+                f"{calls_a} -> {calls_b}  {location}"
+            )
+        return "\n".join(lines)
+
+
+def load_profile(path: Union[str, "pathlib.Path"]) -> Dict[str, Any]:
+    """Load a profile saved by ``repro profile --save`` and validate it."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict) or data.get("schema") != _PROFILE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a saved repro profile "
+            f"(expected schema {_PROFILE_SCHEMA!r})"
+        )
+    return data
+
+
+def compare_profiles(
+    profile_a: Dict[str, Any],
+    profile_b: Dict[str, Any],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> ProfileComparison:
+    """Diff two loaded profiles into a :class:`ProfileComparison`."""
+    calls_a = {location: int(ncalls) for ncalls, location in profile_a["functions"]}
+    calls_b = {location: int(ncalls) for ncalls, location in profile_b["functions"]}
+    rows = [
+        (
+            calls_b.get(location, 0) - calls_a.get(location, 0),
+            calls_a.get(location, 0),
+            calls_b.get(location, 0),
+            location,
+        )
+        for location in set(calls_a) | set(calls_b)
+    ]
+    rows.sort(key=lambda row: (-abs(row[0]), row[3]))
+    return ProfileComparison(
+        label_a=label_a,
+        label_b=label_b,
+        python_a=str(profile_a.get("python", "?")),
+        python_b=str(profile_b.get("python", "?")),
+        events_a=int(profile_a["events_processed"]),
+        events_b=int(profile_b["events_processed"]),
+        total_calls_a=int(profile_a["total_calls"]),
+        total_calls_b=int(profile_b["total_calls"]),
+        rows=tuple(rows),
+    )
+
 
 def profile_simulation(
     params: SimulationParameters, workload_kind: str = "readwrite"
@@ -97,10 +257,15 @@ def profile_simulation(
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats()
 
-    rows: List[Tuple[int, str]] = []
+    # Aggregate by normalized location: stripping the per-process object
+    # addresses can merge entries that differ only by address.
+    by_location: Dict[str, int] = {}
     for (filename, lineno, funcname), entry in stats.stats.items():  # type: ignore[attr-defined]
         ncalls = entry[1]  # (cc, nc, tt, ct, callers): nc = total call count
-        rows.append((ncalls, f"{_shorten(filename)}:{lineno}({funcname})"))
+        name = _ADDRESS.sub("", funcname)
+        location = f"{_shorten(filename)}:{lineno}({name})"
+        by_location[location] = by_location.get(location, 0) + ncalls
+    rows = [(ncalls, location) for location, ncalls in by_location.items()]
     rows.sort(key=lambda row: (-row[0], row[1]))
 
     return ProfileReport(

@@ -15,7 +15,12 @@ The CLI exposes the experiment harness without writing any Python:
     parallel runner; every worker count produces byte-identical results;
 ``python -m repro profile [--mpl 50 --completions 400 --top 25]``
     cProfile one simulation point and print the deterministic top-N call
-    counts (the hot-loop perf trajectory, diffable PR-over-PR);
+    counts (the hot-loop perf trajectory, diffable PR-over-PR); ``--save
+    baseline.json`` keeps the counts for later;
+``python -m repro profile --compare baseline.json current.json``
+    diff two saved profiles — per-function call-count deltas plus the
+    calls/event change — exiting non-zero when the regression exceeds
+    ``--regress-pct`` (the CI perf gate);
 ``python -m repro simulate [--mpl 50 --policy recoverability ...]``
     run a single simulation point and print its metrics; ``--policy 2pl``
     selects the strict two-phase-locking baseline backend;
@@ -56,8 +61,10 @@ from .analysis import (
     PAPER_SCALE,
     SMOKE_SCALE,
     all_figure_ids,
+    compare_profiles,
     compare_tables,
     figure_spec,
+    load_profile,
     paper_table_reports,
     parameter_table,
     profile_simulation,
@@ -130,6 +137,21 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--raw", action="store_true",
                          help="append the raw pstats table (wall-clock "
                               "times; not deterministic)")
+    profile.add_argument("--save", type=pathlib.Path, default=None,
+                         metavar="PATH",
+                         help="also write the deterministic profile as JSON "
+                              "(the input format of --compare)")
+    profile.add_argument("--compare", nargs=2, type=pathlib.Path, default=None,
+                         metavar=("A.json", "B.json"),
+                         help="diff two profiles saved with --save instead of "
+                              "running a simulation; exits non-zero when B's "
+                              "calls/event exceeds A's by more than "
+                              "--regress-pct")
+    profile.add_argument("--regress-pct", type=float, default=3.0,
+                         metavar="PCT",
+                         help="calls/event regression tolerated by --compare "
+                              "before the exit code turns non-zero "
+                              "(default: 3.0)")
 
     lint = subparsers.add_parser(
         "lint", help="run the repo's determinism/conformance static analyzer"
@@ -329,6 +351,25 @@ def _command_profile(arguments, out, error) -> int:
     """Profile one simulation point; call counts are deterministic."""
     if arguments.top < 1:
         error(f"--top must be >= 1, got {arguments.top}")
+    if arguments.compare is not None:
+        path_a, path_b = arguments.compare
+        try:
+            comparison = compare_profiles(
+                load_profile(path_a),
+                load_profile(path_b),
+                label_a=str(path_a),
+                label_b=str(path_b),
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            error(f"--compare could not load profiles: {exc}")
+        out.write(comparison.render(top=arguments.top) + "\n")
+        if comparison.regressed(arguments.regress_pct):
+            out.write(
+                f"REGRESSION: calls/event {comparison.delta_pct:+.2f}% exceeds "
+                f"the --regress-pct {arguments.regress_pct:g}% tolerance\n"
+            )
+            return 1
+        return 0
     try:
         params = SimulationParameters(
             database_size=arguments.database_size,
@@ -341,6 +382,8 @@ def _command_profile(arguments, out, error) -> int:
         error(str(exc))
     report = profile_simulation(params, workload_kind=arguments.workload)
     out.write(report.render(top=arguments.top, raw=arguments.raw) + "\n")
+    if arguments.save is not None:
+        report.save(arguments.save)
     return 0
 
 

@@ -16,13 +16,36 @@ cycle is aborted.  Because both readings point "towards the transaction that
 must terminate first", the commit rule for pseudo-committed transactions is
 simply: a pseudo-committed transaction whose node has **out-degree zero** has
 no one left to wait for and can be durably committed (Section 4.3).
+
+Cycle checks are served by an **online topological order** maintained
+Pearce–Kelly style (Pearce & Kelly 2006, "A Dynamic Topological Sort
+Algorithm for Directed Acyclic Graphs").  The invariant, while the graph is
+acyclic, is ``ord[u] > ord[v]`` for every edge ``u -> v`` — dependencies sort
+*below* their dependents.  New transactions receive increasing positions, and
+since a requester is almost always younger than the transactions it waits on,
+the typical ``add_edge`` already respects the order and costs O(1); only an
+order-violating insertion searches (and reorders) the affected region
+``[ord[v], ord[u]]``.  ``creates_cycle(source, targets)`` is then O(1) for
+order-respecting candidates: ``source`` can only be reachable from a target
+placed *above* it.  Edge/node removals never invalidate a topological order,
+so they need no maintenance at all — the old reachability cache and its
+per-mutation eviction scan are gone.
+
+The scheduler never inserts a cycle-closing edge (it asks first), but the
+test suite builds deliberately cyclic graphs, so insertion tolerates them:
+each edge that closes a cycle is recorded in ``_back_edges``; while any are
+present the order is suspended and queries fall back to a plain DFS, and when
+the last recorded back edge is removed the order is rebuilt from scratch.
+Every cycle contains at least one recorded edge (its last-inserted edge was
+detected as cycle-closing when added), so an empty ``_back_edges`` proves the
+graph acyclic and the fast path sound.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["EdgeKind", "Edge", "DependencyGraph"]
 
@@ -52,18 +75,22 @@ class DependencyGraph:
     The graph is intentionally small (one node per active transaction) and the
     operations the scheduler needs — add edges, test for a cycle through a
     given node, drop a node, find nodes whose out-degree became zero — are all
-    O(nodes + edges) or better.
+    amortised near-constant thanks to the maintained topological order.
     """
 
     def __init__(self) -> None:
         # successors[node][target] -> set of edge kinds
         self._successors: Dict[int, Dict[int, Set[EdgeKind]]] = {}
         self._predecessors: Dict[int, Set[int]] = {}
-        # Reachability cache: node -> set of nodes reachable from it (the node
-        # itself included only when it lies on a cycle).  Entries are evicted
-        # whenever a mutation can change the set — see _note_edge_added /
-        # _note_edge_removed — so a present entry is always exact.
-        self._reach_cache: Dict[int, Set[int]] = {}
+        #: Online topological position per node; invariant (while acyclic):
+        #: ``ord[u] > ord[v]`` for every edge ``u -> v``.
+        self._ord: Dict[int, int] = {}
+        self._next_ord = 0
+        #: Edges recorded as cycle-closing at insertion time.  Non-empty means
+        #: the graph may be cyclic: the order is suspended and cycle queries
+        #: use a full DFS until these edges are gone (test-only territory —
+        #: the scheduler checks ``creates_cycle`` before every insertion).
+        self._back_edges: Set[Tuple[int, int]] = set()
         #: Monotonic count of topology changes (edges gained or lost).  An
         #: unchanged value guarantees the successor sets are unchanged, which
         #: lets derived structures (the multi-site router's union-graph cycle
@@ -71,36 +98,15 @@ class DependencyGraph:
         self.mutations = 0
 
     # ------------------------------------------------------------------
-    # Reachability cache maintenance
-    # ------------------------------------------------------------------
-    def _note_edge_added(self, source: int) -> None:
-        """A new edge leaves ``source``: any cached set that contains
-        ``source`` (or is ``source``'s own) may have grown."""
-        self.mutations += 1
-        if not self._reach_cache:
-            return
-        stale = [
-            node
-            for node, reach in self._reach_cache.items()
-            if node == source or source in reach
-        ]
-        for node in stale:
-            del self._reach_cache[node]
-
-    def _note_edge_removed(self, source: int) -> None:
-        """An edge leaving ``source`` is gone: any cached set that contains
-        ``source`` (or is ``source``'s own) may have shrunk."""
-        # Growth and shrinkage invalidate the same entries: exactly those
-        # whose walks could pass through ``source``.
-        self._note_edge_added(source)
-
-    # ------------------------------------------------------------------
     # Nodes
     # ------------------------------------------------------------------
     def add_node(self, node: int) -> None:
         """Ensure ``node`` exists (idempotent)."""
-        self._successors.setdefault(node, {})
-        self._predecessors.setdefault(node, set())
+        if node not in self._successors:
+            self._successors[node] = {}
+            self._predecessors[node] = set()
+            self._ord[node] = self._next_ord
+            self._next_ord += 1
 
     def has_node(self, node: int) -> bool:
         return node in self._successors
@@ -125,9 +131,14 @@ class DependencyGraph:
             self._successors[predecessor].pop(node, None)
         del self._successors[node]
         del self._predecessors[node]
-        # Every removed edge either left ``node`` or pointed at it, so the
-        # affected cache entries are exactly those that mention ``node``.
-        self._note_edge_removed(node)
+        del self._ord[node]
+        if self._back_edges:
+            self._back_edges = {
+                pair for pair in self._back_edges if node not in pair
+            }
+            if not self._back_edges:
+                self._rebuild_order()
+        self.mutations += 1
         return former_predecessors
 
     # ------------------------------------------------------------------
@@ -143,10 +154,66 @@ class DependencyGraph:
         kinds = self._successors[source].setdefault(target, set())
         if not kinds:
             # Reachability only changes when the (source, target) pair gains
-            # its *first* edge; adding a second kind is a no-op for the cache.
-            self._note_edge_added(source)
+            # its *first* edge; a second kind is a no-op for the order too.
+            self.mutations += 1
+            self._order_edge_added(source, target)
         kinds.add(kind)
         self._predecessors[target].add(source)
+
+    def _order_edge_added(self, source: int, target: int) -> None:
+        """Restore the topological invariant after inserting an edge."""
+        if self._back_edges:
+            # Order suspended: just record whether this edge closes (another)
+            # cycle, via an unbounded walk — the graph may already be cyclic.
+            if self._dfs_reaches(target, source):
+                self._back_edges.add((source, target))
+            return
+        ord_ = self._ord
+        lower = ord_[source]
+        upper = ord_[target]
+        if lower > upper:
+            return  # order-respecting: the common case, O(1)
+        # Affected region is [lower, upper].  Forward walk from ``target``
+        # collecting nodes that may need to move below ``source``; meeting
+        # ``source`` means the new edge closes a cycle.
+        successors = self._successors
+        delta_forward = [target]
+        seen_forward = {target}
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            for child in successors[node]:
+                if child == source:
+                    # Cycle: keep the (now invalid) order frozen and fall
+                    # back to DFS queries until this edge is removed.
+                    self._back_edges.add((source, target))
+                    return
+                if child not in seen_forward and ord_[child] > lower:
+                    seen_forward.add(child)
+                    delta_forward.append(child)
+                    stack.append(child)
+        # Backward walk from ``source``: nodes inside the region that must
+        # stay above everything reachable from ``target``.
+        predecessors = self._predecessors
+        delta_backward = [source]
+        seen_backward = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for parent in predecessors[node]:
+                if parent not in seen_backward and ord_[parent] < upper:
+                    seen_backward.add(parent)
+                    delta_backward.append(parent)
+                    stack.append(parent)
+        # Reassign the pooled positions: the forward set (reachable from
+        # ``target``) takes the low slots, the backward set (reaching
+        # ``source``) the high slots; relative order inside each set is kept.
+        delta_forward.sort(key=ord_.__getitem__)
+        delta_backward.sort(key=ord_.__getitem__)
+        moved = delta_forward + delta_backward
+        pool = sorted(ord_[node] for node in moved)
+        for position, node in zip(pool, moved):
+            ord_[node] = position
 
     def add_edges(self, source: int, targets: Iterable[int], kind: EdgeKind) -> None:
         """Add edges from ``source`` to every node in ``targets``."""
@@ -158,10 +225,12 @@ class DependencyGraph:
 
         Used when a blocked transaction's request is finally granted: its
         wait-for edges are stale and must not linger (they would cause
-        spurious deadlock aborts later).
+        spurious deadlock aborts later).  Removals never invalidate a valid
+        topological order, so no maintenance is needed.
         """
         if source not in self._successors:
             return
+        was_suspended = bool(self._back_edges)
         dropped_any = False
         for target in list(self._successors[source]):
             kinds = self._successors[source][target]
@@ -173,8 +242,14 @@ class DependencyGraph:
                 del self._successors[source][target]
                 self._predecessors[target].discard(source)
                 dropped_any = True
+                if was_suspended:
+                    self._back_edges.discard((source, target))
         if dropped_any:
-            self._note_edge_removed(source)
+            self.mutations += 1
+            # The order only needs rebuilding when the graph just became
+            # provably acyclic again after a cyclic episode (test-only path).
+            if was_suspended and not self._back_edges:
+                self._rebuild_order()
 
     def has_edge(self, source: int, target: int, kind: Optional[EdgeKind] = None) -> bool:
         kinds = self._successors.get(source, {}).get(target)
@@ -191,11 +266,22 @@ class DependencyGraph:
                     result.append(Edge(source, target, kind))
         return result
 
-    def successors(self, node: int) -> Set[int]:
-        return set(self._successors.get(node, ()))
+    def successors(self, node: int) -> AbstractSet[int]:
+        """Read-only view of ``node``'s successors (do not mutate)."""
+        targets = self._successors.get(node)
+        return targets.keys() if targets is not None else frozenset()
 
-    def predecessors(self, node: int) -> Set[int]:
-        return set(self._predecessors.get(node, ()))
+    def predecessors(self, node: int) -> AbstractSet[int]:
+        """Read-only view of ``node``'s predecessors (do not mutate)."""
+        sources = self._predecessors.get(node)
+        return sources if sources is not None else frozenset()
+
+    def successors_by_kind(self, node: int, kind: EdgeKind) -> Set[int]:
+        """Successors linked from ``node`` by an edge of ``kind``."""
+        targets = self._successors.get(node)
+        if not targets:
+            return set()
+        return {target for target, kinds in targets.items() if kind in kinds}
 
     def out_degree(self, node: int, kind: Optional[EdgeKind] = None) -> int:
         """Number of distinct successor nodes (optionally of one edge kind)."""
@@ -215,32 +301,69 @@ class DependencyGraph:
     # ------------------------------------------------------------------
     # Cycle detection
     # ------------------------------------------------------------------
-    def _reachable_set(self, start: int) -> Set[int]:
-        """The set of nodes reachable from ``start`` (cached).
+    def _rebuild_order(self) -> None:
+        """Recompute ``_ord`` from scratch (graph known acyclic).
 
-        ``start`` itself appears in the set only when it lies on a cycle.
+        Iterative DFS postorder: a node finishes after all its successors,
+        so assigning positions in finish order satisfies the invariant.
+        Only runs when a cyclic episode ends — never on scheduler paths.
         """
-        cached = self._reach_cache.get(start)
-        if cached is not None:
-            return cached
+        successors = self._successors
+        order: Dict[int, int] = {}
+        counter = 0
+        visited: Set[int] = set()
+        for root in successors:
+            if root in visited:
+                continue
+            visited.add(root)
+            stack: List[Tuple[int, Iterable[int]]] = [(root, iter(successors[root]))]
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in visited:
+                        visited.add(child)
+                        stack.append((child, iter(successors[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    order[node] = counter
+                    counter += 1
+        self._ord = order
+        self._next_ord = counter
+
+    def _dfs_reaches(self, start: int, goal: int) -> bool:
+        """Unbounded DFS: can ``goal`` be reached from ``start``?
+
+        The fallback (and test oracle) path — used only while the graph may
+        be cyclic, when the topological bound cannot prune the walk.
+        """
+        successors = self._successors
+        stack = list(successors.get(start, ()))
         seen: Set[int] = set()
-        stack = list(self._successors.get(start, ()))
         while stack:
             node = stack.pop()
+            if node == goal:
+                return True
             if node in seen:
                 continue
             seen.add(node)
-            stack.extend(self._successors.get(node, ()))
-        self._reach_cache[start] = seen
-        return seen
+            stack.extend(successors[node])
+        return False
 
     def reachable(self, start: int, goal: int) -> bool:
-        """True if ``goal`` can be reached from ``start`` following edges."""
+        """True if ``goal`` can be reached from ``start`` following edges.
+
+        Kept as the plain full-DFS oracle for the equivalence tests; the
+        scheduler paths use :meth:`creates_cycle`, which answers through the
+        maintained order instead.
+        """
         if start not in self._successors or goal not in self._successors:
             return False
         if start == goal:
             return True
-        return goal in self._reachable_set(start)
+        return self._dfs_reaches(start, goal)
 
     def creates_cycle(self, source: int, targets: Iterable[int]) -> bool:
         """Would adding edges ``source -> t`` for each target close a cycle?
@@ -248,14 +371,43 @@ class DependencyGraph:
         The new edges close a cycle exactly when ``source`` is already
         reachable from one of the targets (including the degenerate
         ``target == source`` case, which the scheduler filters out earlier).
+        With the topological order, a target placed *below* ``source``
+        (``ord[t] < ord[source]``) cannot reach it — answered in O(1); only
+        targets above ``source`` trigger a walk, and that walk is pruned to
+        the region above ``ord[source]``.
         """
+        successors = self._successors
+        if source not in successors:
+            return False
+        if self._back_edges:
+            for target in targets:
+                if target == source or target not in successors:
+                    continue
+                if self._dfs_reaches(target, source):
+                    return True
+            return False
+        ord_ = self._ord
+        source_position = ord_[source]
+        stack: Optional[List[int]] = None
         for target in targets:
-            if target == source:
+            if target == source or target not in successors:
                 continue
-            if target not in self._successors or source not in self._successors:
-                continue
-            if source in self._reachable_set(target):
-                return True
+            if ord_[target] > source_position:
+                if stack is None:
+                    stack = [target]
+                else:
+                    stack.append(target)
+        if stack is None:
+            return False
+        seen = set(stack)
+        while stack:
+            node = stack.pop()
+            for child in successors[node]:
+                if child == source:
+                    return True
+                if child not in seen and ord_[child] > source_position:
+                    seen.add(child)
+                    stack.append(child)
         return False
 
     def has_cycle(self) -> bool:
@@ -303,10 +455,30 @@ class DependencyGraph:
                     return cycle
         return None
 
+    def order_violations(self) -> List[Tuple[int, int]]:
+        """Edges violating the topological invariant (diagnostics/tests).
+
+        Empty whenever ``_back_edges`` is empty — the property suite asserts
+        exactly that after every mutation step.
+        """
+        ord_ = self._ord
+        return [
+            (source, target)
+            for source, targets in self._successors.items()
+            for target in targets
+            if ord_[source] <= ord_[target]
+        ]
+
     def zero_out_degree_nodes(self, candidates: Optional[Iterable[int]] = None) -> Set[int]:
         """Nodes with no outgoing edges (restricted to ``candidates`` if given)."""
-        pool = self.nodes() if candidates is None else set(candidates) & self.nodes()
-        return {node for node in pool if self.out_degree(node) == 0}
+        successors = self._successors
+        if candidates is None:
+            return {node for node, targets in successors.items() if not targets}
+        return {
+            node
+            for node in candidates
+            if node in successors and not successors[node]
+        }
 
     def __len__(self) -> int:
         return len(self._successors)

@@ -17,11 +17,24 @@ sound log and needs no type-specific undo code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .compatibility import CompatibilitySpec, ConflictClass
 from .policy import ConflictPolicy, effective_class
 from .specification import Event, Invocation, TypeSpecification
+
+#: One compiled policy table: ``(unconditional, same_param, diff_param)``
+#: flat arrays indexed by ``requested_id * n_ops + executed_id``.  The
+#: ``unconditional`` entry is the :class:`ConflictClass` when the pair's
+#: classification does not depend on parameters (the overwhelmingly common
+#: case), else ``None`` — then the parameter comparison picks between the
+#: ``same_param`` and ``diff_param`` arrays (the paper's Yes-SP / Yes-DP
+#: qualifiers).
+_CompiledTables = Tuple[
+    Tuple[Optional[ConflictClass], ...],
+    Tuple[ConflictClass, ...],
+    Tuple[ConflictClass, ...],
+]
 
 __all__ = ["PendingRequest", "Classification", "ObjectManager"]
 
@@ -32,27 +45,38 @@ class PendingRequest:
 
     ``payload`` is opaque to the manager; the scheduler stores its
     :class:`~repro.core.scheduler.RequestHandle` there so it can publish the
-    result when the request is eventually granted.
+    result when the request is eventually granted.  ``op_id`` and ``param``
+    are the manager-interned identity of the invocation, stamped once by
+    :meth:`ObjectManager.enqueue_blocked` so queue scans never re-derive them
+    (``op_id == -1`` marks an invocation outside the compiled tables).
     """
 
     transaction_id: int
     invocation: Invocation
     payload: Any = None
+    op_id: int = -1
+    param: Any = None
 
 
 @dataclass(slots=True)
 class _OperationGroup:
-    """All uncommitted operations sharing one (op name, conflict parameter).
+    """All uncommitted operations sharing one (op id, conflict parameter).
 
     Classification depends on an invocation only through its operation name
     and its :meth:`~repro.core.specification.TypeSpecification.conflict_parameter`,
     so one representative invocation stands for the whole group.  ``owners``
     counts live operations per transaction, which lets
     :meth:`ObjectManager.classify_request` touch each *distinct* operation
-    once instead of walking the full uncommitted log.
+    once instead of walking the full uncommitted log.  ``op_id`` is the
+    interned small-int id of the operation (``-1`` for the fallback groups of
+    unhashable-parameter or table-unknown invocations) and ``param`` its
+    conflict parameter — together they index the compiled policy tables
+    without rebuilding a tuple key per probe.
     """
 
     invocation: Invocation
+    op_id: int
+    param: Any
     owners: Dict[int, int] = field(default_factory=dict)
 
 
@@ -126,50 +150,124 @@ class ObjectManager:
         self.uncommitted: List[Event] = []
         #: FIFO queue of blocked requests.
         self.blocked: List[PendingRequest] = []
-        #: Uncommitted operations grouped by (op name, conflict parameter);
+        #: Uncommitted operations grouped by (op id, conflict parameter);
         #: kept in sync with ``uncommitted`` by ``execute``/``remove_transaction``.
         self._op_groups: Dict[Any, _OperationGroup] = {}
         #: Uncommitted events per transaction (same objects as ``uncommitted``).
         self._events_by_tid: Dict[int, List[Event]] = {}
-        #: Memo of pairwise classifications, one dict per policy, keyed by
-        #: the two invocations' (op, conflict parameter) pairs.  Keeping the
-        #: policy out of the per-lookup key spares an enum ``__hash__`` per
-        #: probe on the classification fast path.  Tables are fixed for the
-        #: manager's lifetime, so entries never go stale.
-        self._pair_caches: Dict[ConflictPolicy, Dict[Any, ConflictClass]] = {}
+        #: Interned operation ids: table operations in declared order.  The
+        #: compiled per-policy tables below are flat arrays indexed by
+        #: ``requested_id * n + executed_id`` — classification is two int
+        #: index operations instead of tuple-key construction + dict probes.
+        operations = self.compatibility.operations
+        self._op_index: Dict[str, int] = {op: i for i, op in enumerate(operations)}
+        self._n_ops = len(operations)
+        #: True when the spec uses the default conflict parameter (the raw
+        #: argument tuple) — lets the hot path skip a method call per probe.
+        self._param_is_args = (
+            type(self.spec).conflict_parameter is TypeSpecification.conflict_parameter
+        )
+        #: Compiled tables per policy, built on first use.  A run exercises a
+        #: single policy, so the hot paths check ``_compiled_policy`` by
+        #: identity (no enum hash) before falling back to the dict.  Tables
+        #: are fixed for the manager's lifetime, so entries never go stale.
+        self._policy_tables: Dict[ConflictPolicy, _CompiledTables] = {}
+        self._compiled_policy: Optional[ConflictPolicy] = None
+        self._compiled_tables: Optional[_CompiledTables] = None
+        #: Group key per live uncommitted event (keyed by ``id(event)``;
+        #: entries are dropped in ``_unindex_event`` while the event is still
+        #: referenced, so ids cannot be recycled underneath the map).
+        self._group_key_by_event: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
-    def _conflict_key(self, invocation: Invocation) -> Any:
-        """Hashable identity of an invocation for classification purposes,
-        or ``None`` when its conflict parameter is unhashable."""
-        try:
-            key = (invocation.op, self.spec.conflict_parameter(invocation))
-            hash(key)
-        except TypeError:
-            return None
-        return key
+    def _compile_policy(self, policy: ConflictPolicy) -> _CompiledTables:
+        """Precompile both relation tables into flat per-policy arrays.
+
+        Every (requested, executed) operation pair is resolved through the
+        paper's Figure-2 algorithm (commutativity first, then recoverability)
+        for both the same-parameter and different-parameter case, then mapped
+        through the policy; parameter-independent results land in the
+        ``unconditional`` array so the fast path never compares parameters.
+        """
+        commutativity = self.compatibility.commutativity
+        recoverability = self.compatibility.recoverability
+        operations = self.compatibility.operations
+        count = len(operations) * len(operations)
+        unconditional: List[Optional[ConflictClass]] = [None] * count
+        same_param: List[ConflictClass] = [ConflictClass.CONFLICT] * count
+        diff_param: List[ConflictClass] = [ConflictClass.CONFLICT] * count
+        index = 0
+        for requested_op in operations:
+            for executed_op in operations:
+                commute = commutativity.answer(requested_op, executed_op)
+                recover = recoverability.answer(requested_op, executed_op)
+                if commute.holds(True):
+                    same_case = ConflictClass.COMMUTATIVE
+                elif recover.holds(True):
+                    same_case = ConflictClass.RECOVERABLE
+                else:
+                    same_case = ConflictClass.CONFLICT
+                if commute.holds(False):
+                    diff_case = ConflictClass.COMMUTATIVE
+                elif recover.holds(False):
+                    diff_case = ConflictClass.RECOVERABLE
+                else:
+                    diff_case = ConflictClass.CONFLICT
+                same_case = effective_class(policy, same_case)
+                diff_case = effective_class(policy, diff_case)
+                same_param[index] = same_case
+                diff_param[index] = diff_case
+                if same_case is diff_case:
+                    unconditional[index] = same_case
+                index += 1
+        compiled = (tuple(unconditional), tuple(same_param), tuple(diff_param))
+        self._policy_tables[policy] = compiled
+        return compiled
+
+    def _tables_for(self, policy: ConflictPolicy) -> _CompiledTables:
+        """The compiled tables of ``policy`` (identity-checked fast path)."""
+        if policy is self._compiled_policy:
+            tables = self._compiled_tables
+            assert tables is not None
+            return tables
+        tables = self._policy_tables.get(policy)
+        if tables is None:
+            tables = self._compile_policy(policy)
+        self._compiled_policy = policy
+        self._compiled_tables = tables
+        return tables
+
+    def _conflict_param(self, invocation: Invocation) -> Any:
+        """The invocation's conflict parameter (same/different-parameter key)."""
+        if self._param_is_args:
+            return invocation.args
+        return self.spec.conflict_parameter(invocation)
 
     def classify_pair(
         self, requested: Invocation, executed: Invocation, policy: ConflictPolicy
     ) -> ConflictClass:
         """Classify one requested/executed invocation pair under ``policy``."""
-        requested_key = self._conflict_key(requested)
-        executed_key = self._conflict_key(executed)
-        if requested_key is None or executed_key is None:
+        op_index = self._op_index
+        requested_id = op_index.get(requested.op)
+        executed_id = op_index.get(executed.op)
+        if requested_id is None or executed_id is None:
+            # Operation outside the declared tables (test-only territory):
+            # resolve through the tables' default answers directly.
             pairwise = self.compatibility.classify(requested, executed, self.spec)
             return effective_class(policy, pairwise)
-        pair_cache = self._pair_caches.get(policy)
-        if pair_cache is None:
-            pair_cache = self._pair_caches[policy] = {}
-        cache_key = (requested_key, executed_key)
-        cached = pair_cache.get(cache_key)
-        if cached is None:
-            pairwise = self.compatibility.classify(requested, executed, self.spec)
-            cached = effective_class(policy, pairwise)
-            pair_cache[cache_key] = cached
-        return cached
+        if policy is self._compiled_policy:
+            tables = self._compiled_tables
+        else:
+            tables = self._tables_for(policy)
+        index = requested_id * self._n_ops + executed_id
+        unconditional = tables[0][index]
+        if unconditional is not None:
+            return unconditional
+        if self._conflict_param(requested) == self._conflict_param(executed):
+            return tables[1][index]
+        return tables[2][index]
 
     def classify_request(
         self, invocation: Invocation, transaction_id: int, policy: ConflictPolicy
@@ -180,30 +278,36 @@ class ObjectManager:
         op_groups = self._op_groups
         if not op_groups:
             return result
-        requested_key = self._conflict_key(invocation)
-        pair_cache = self._pair_caches.get(policy)
-        if pair_cache is None:
-            pair_cache = self._pair_caches[policy] = {}
+        requested_id = self._op_index.get(invocation.op)
+        if policy is self._compiled_policy:
+            tables = self._compiled_tables
+        else:
+            tables = self._tables_for(policy)
+        unconditional_table, same_table, diff_table = tables
+        if self._param_is_args:
+            requested_param = invocation.args
+        else:
+            requested_param = self.spec.conflict_parameter(invocation)
+        base = -1 if requested_id is None else requested_id * self._n_ops
         conflicting = result.conflicting
         recoverable = result.recoverable
         commutative = ConflictClass.COMMUTATIVE
         conflict = ConflictClass.CONFLICT
-        for group_key, group in op_groups.items():
+        for group in op_groups.values():
             owners = group.owners
             if not owners or (len(owners) == 1 and transaction_id in owners):
                 continue
-            # A hashable group's dict key *is* the executed side of the memo
-            # key, so the hot path costs one cache lookup per distinct group.
-            if requested_key is None or group_key[0] == "__unhashable__":
+            group_id = group.op_id
+            if group_id < 0 or base < 0:
                 pairwise = self.classify_pair(invocation, group.invocation, policy)
             else:
-                pairwise = pair_cache.get((requested_key, group_key))
+                index = base + group_id
+                pairwise = unconditional_table[index]
                 if pairwise is None:
-                    pairwise = effective_class(
-                        policy,
-                        self.compatibility.classify(invocation, group.invocation, self.spec),
-                    )
-                    pair_cache[(requested_key, group_key)] = pairwise
+                    if requested_param == group.param:
+                        pairwise = same_table[index]
+                    else:
+                        pairwise = diff_table[index]
             if pairwise is commutative:
                 continue
             others = [tid for tid in owners if tid != transaction_id]
@@ -229,11 +333,38 @@ class ObjectManager:
         itself, where only requests *ahead* of the candidate matter).
         """
         owners: Set[int] = set()
-        queue = self.blocked if upto is None else self.blocked[:upto]
-        for pending in queue:
+        queue = self.blocked
+        limit = len(queue) if upto is None else min(upto, len(queue))
+        if not limit:
+            return owners
+        requested_id = self._op_index.get(invocation.op)
+        if policy is self._compiled_policy:
+            tables = self._compiled_tables
+        else:
+            tables = self._tables_for(policy)
+        unconditional_table, same_table, diff_table = tables
+        if self._param_is_args:
+            requested_param = invocation.args
+        else:
+            requested_param = self.spec.conflict_parameter(invocation)
+        base = -1 if requested_id is None else requested_id * self._n_ops
+        conflict = ConflictClass.CONFLICT
+        for position in range(limit):
+            pending = queue[position]
             if pending.transaction_id == transaction_id:
                 continue
-            if self.classify_pair(invocation, pending.invocation, policy) is ConflictClass.CONFLICT:
+            executed_id = pending.op_id
+            if executed_id < 0 or base < 0:
+                pairwise = self.classify_pair(invocation, pending.invocation, policy)
+            else:
+                index = base + executed_id
+                pairwise = unconditional_table[index]
+                if pairwise is None:
+                    if requested_param == pending.param:
+                        pairwise = same_table[index]
+                    else:
+                        pairwise = diff_table[index]
+            if pairwise is conflict:
                 owners.add(pending.transaction_id)
         return owners
 
@@ -264,21 +395,48 @@ class ObjectManager:
         self._index_event(event)
         return event
 
+    def _group_key(self, invocation: Invocation) -> Any:
+        """Interned (op id, conflict parameter) identity of an invocation,
+        or ``None`` when the op is outside the tables or the parameter is
+        unhashable — such events get their own fallback group."""
+        op_id = self._op_index.get(invocation.op)
+        if op_id is None:
+            return None
+        if self._param_is_args:
+            param = invocation.args
+        else:
+            param = self.spec.conflict_parameter(invocation)
+        try:
+            hash(param)
+        except TypeError:
+            return None
+        return (op_id, param)
+
     def _index_event(self, event: Event) -> None:
-        key = self._conflict_key(event.invocation)
+        key = self._group_key(event.invocation)
         if key is None:
-            # Unhashable conflict parameter: give the event its own group so
-            # classification still sees it (just without any sharing).
+            # Unhashable parameter or table-unknown op: give the event its
+            # own group so classification still sees it (without sharing).
             key = ("__unhashable__", id(event))
+            op_id: int = -1
+            param: Any = None
+        else:
+            op_id, param = key
+        self._group_key_by_event[id(event)] = key
         group = self._op_groups.get(key)
         if group is None:
-            group = self._op_groups[key] = _OperationGroup(invocation=event.invocation)
-        group.owners[event.transaction_id] = group.owners.get(event.transaction_id, 0) + 1
+            group = self._op_groups[key] = _OperationGroup(
+                invocation=event.invocation, op_id=op_id, param=param
+            )
+        owners = group.owners
+        owners[event.transaction_id] = owners.get(event.transaction_id, 0) + 1
 
     def _unindex_event(self, event: Event) -> None:
-        key = self._conflict_key(event.invocation)
+        key = self._group_key_by_event.pop(id(event), None)
         if key is None:
-            key = ("__unhashable__", id(event))
+            key = self._group_key(event.invocation)
+            if key is None:
+                key = ("__unhashable__", id(event))
         group = self._op_groups.get(key)
         if group is None:
             return
@@ -339,7 +497,20 @@ class ObjectManager:
     # Blocked queue maintenance
     # ------------------------------------------------------------------
     def enqueue_blocked(self, request: PendingRequest) -> None:
-        """Append a blocked request to the FIFO queue."""
+        """Append a blocked request to the FIFO queue.
+
+        Stamps the manager-interned (op id, conflict parameter) identity on
+        the request so queue scans (:meth:`blocked_conflicts`) classify it
+        with two int index operations instead of re-deriving tuple keys.
+        """
+        invocation = request.invocation
+        op_id = self._op_index.get(invocation.op)
+        if op_id is not None:
+            request.op_id = op_id
+            if self._param_is_args:
+                request.param = invocation.args
+            else:
+                request.param = self.spec.conflict_parameter(invocation)
         self.blocked.append(request)
 
     def remove_blocked_of(self, transaction_id: int) -> List[PendingRequest]:

@@ -337,7 +337,9 @@ class Scheduler:
         progressed = True
         while progressed:
             progressed = False
-            for index, pending in enumerate(list(manager.blocked)):
+            # Iterating the live queue is safe: every path that mutates it
+            # (stale drop, deadlock abort, grant) breaks out of the loop.
+            for index, pending in enumerate(manager.blocked):
                 transaction = self.transactions.get(pending.transaction_id)
                 if transaction is None or transaction.status is not TransactionStatus.BLOCKED:
                     manager.blocked.remove(pending)
@@ -504,19 +506,11 @@ class Scheduler:
     # ------------------------------------------------------------------
     def commit_dependencies(self, transaction_id: int) -> Set[int]:
         """Transactions that ``transaction_id`` must commit after."""
-        return {
-            target
-            for target in self.graph.successors(transaction_id)
-            if self.graph.has_edge(transaction_id, target, EdgeKind.COMMIT_DEPENDENCY)
-        }
+        return self.graph.successors_by_kind(transaction_id, EdgeKind.COMMIT_DEPENDENCY)
 
     def waiting_for(self, transaction_id: int) -> Set[int]:
         """Transactions that ``transaction_id`` is blocked behind."""
-        return {
-            target
-            for target in self.graph.successors(transaction_id)
-            if self.graph.has_edge(transaction_id, target, EdgeKind.WAIT_FOR)
-        }
+        return self.graph.successors_by_kind(transaction_id, EdgeKind.WAIT_FOR)
 
     def object_state(self, name: str) -> Any:
         """The currently visible state of an object (committed + uncommitted)."""

@@ -323,7 +323,7 @@ class _VersionedCatchUp(ReplicationProtocol):
 
     def version_of(self, site_id: int, object_name: str) -> int:
         """The committed version of one copy (0 until its first write)."""
-        return self._version.get((site_id, object_name), 0)
+        return self._version.get((site_id, object_name), 0)  # repro-lint: disable=REP008 (per-commit, not per-event)
 
     def on_branch_committed(self, site: "Site", transaction: "GlobalTransaction") -> None:
         super().on_branch_committed(site, transaction)
@@ -339,7 +339,7 @@ class _VersionedCatchUp(ReplicationProtocol):
     def on_transaction_finished(self, transaction: "GlobalTransaction") -> None:
         written = transaction.written_objects()
         for name in sorted(written):
-            self._commit_targets.pop((transaction.gtid, name), None)
+            self._commit_targets.pop((transaction.gtid, name), None)  # repro-lint: disable=REP008 (per-commit, not per-event)
         # The finished transaction may have been the in-flight write that
         # deferred a recovered copy's readability (see _refresh_copies):
         # retry those copies now that the write either stamped fresher
@@ -592,7 +592,7 @@ class QuorumConsensus(_VersionedCatchUp):
         stamped copy died before draining) counts as fully missing.
         """
         w = self.effective_write_quorum(object_name)
-        target = self._commit_targets.get((gtid, object_name))
+        target = self._commit_targets.get((gtid, object_name))  # repro-lint: disable=REP008 (per-commit, not per-event)
         if target is None:
             return w
         return max(0, w - self.live_stamped_count(object_name, target))

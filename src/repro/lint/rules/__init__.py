@@ -7,6 +7,7 @@ from .rep004 import Rep004ImportLayering
 from .rep005 import Rep005SeamConformance
 from .rep006 import Rep006CounterSurfacing
 from .rep007 import Rep007SlotlessHotClass
+from .rep008 import Rep008TupleKeyLookup
 
 #: Every registered rule, in id order; the runner instantiates these.
 ALL_RULES = (
@@ -17,6 +18,7 @@ ALL_RULES = (
     Rep005SeamConformance,
     Rep006CounterSurfacing,
     Rep007SlotlessHotClass,
+    Rep008TupleKeyLookup,
 )
 
 __all__ = [
@@ -28,4 +30,5 @@ __all__ = [
     "Rep005SeamConformance",
     "Rep006CounterSurfacing",
     "Rep007SlotlessHotClass",
+    "Rep008TupleKeyLookup",
 ]

@@ -1,0 +1,120 @@
+"""REP008 — no dict lookups keyed by freshly-built tuples on per-event paths.
+
+A probe like ``cache[(op, param)]`` or ``table.get((requested, executed))``
+allocates a tuple and hashes every element on *each* call; on the
+simulator's per-event paths those probes add up to a measurable share of
+the interpreter calls per event.  The compiled-compatibility kernel removed
+exactly this pattern from operation classification (invocations are
+interned to dense ids at construction and the tables are flat arrays
+indexed by ``requested_id * n_ops + executed_id``); this rule keeps the
+pattern from creeping back.
+
+Checked: lookups (``[...]`` reads and ``.get``/``.setdefault``/``.pop``
+calls with a tuple literal key) inside function bodies of ``repro.core``,
+``repro.sim`` and ``repro.distributed``.  Not checked: ``__init__`` /
+``__post_init__`` bodies and the allow-listed functions below (setup,
+compile-time table building, teardown and reporting run a bounded number of
+times per run — a tuple key there is the clear way to write it), plus
+anything under a standard pragma (``# repro-lint: disable=REP008``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from ..base import Project, Rule, SourceFile, Violation
+
+__all__ = ["Rep008TupleKeyLookup"]
+
+#: Packages whose function bodies the rule examines.
+_CHECKED_PREFIXES = ("repro.core", "repro.sim", "repro.distributed")
+
+#: Dict methods whose first argument is a key.
+_LOOKUP_METHODS = ("get", "setdefault", "pop")
+
+#: Functions that run a bounded number of times per run (setup, compile-time
+#: table building, reporting/teardown) — not per event, so the tuple-key
+#: clarity wins over the interning machinery.
+_ALLOWED_FUNCTIONS = {
+    "_compile_policy",   # ObjectManager: builds the flat tables, once per policy
+    "answer",            # RelationTable: compile-time/fallback classification
+    "classify",          # CompatibilitySpec: legacy fallback for unknown ops
+}
+
+
+class Rep008TupleKeyLookup(Rule):
+    id = "REP008"
+    summary = "dict lookup keyed by a freshly-built tuple on a per-event path"
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for source in project.files:
+            if not source.module.startswith(_CHECKED_PREFIXES):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Violation]:
+        #: Lines inside setup / allow-listed function bodies are exempt.
+        exempt_lines: Set[int] = set()
+        #: Annotation subtrees — ``Dict[int, str]`` is also a Subscript with
+        #: a Tuple slice — are never lookups.
+        annotation_nodes: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in ("__init__", "__post_init__") or (
+                    node.name in _ALLOWED_FUNCTIONS
+                ):
+                    for inner in ast.walk(node):
+                        lineno = getattr(inner, "lineno", None)
+                        if lineno is not None:
+                            exempt_lines.add(lineno)
+                if node.returns is not None:
+                    for sub in ast.walk(node.returns):
+                        annotation_nodes.add(id(sub))
+            annotation = getattr(node, "annotation", None)
+            if annotation is not None:
+                for sub in ast.walk(annotation):
+                    annotation_nodes.add(id(sub))
+        for function in ast.walk(source.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if function.name in ("__init__", "__post_init__"):
+                continue
+            if function.name in _ALLOWED_FUNCTIONS:
+                continue
+            for node in ast.walk(function):
+                key = self._tuple_key(node, annotation_nodes)
+                if key is None or node.lineno in exempt_lines:
+                    continue
+                yield Violation(
+                    rule=self.id,
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"dict lookup keyed by a freshly-built tuple ({key}) "
+                        "on a per-event path builds and hashes the key on "
+                        "every call; intern the components to dense ids (see "
+                        "ObjectManager's compiled tables), allow-list the "
+                        "function in rep008.py if it is per-run setup, or "
+                        "suppress with '# repro-lint: disable=REP008'"
+                    ),
+                )
+
+    def _tuple_key(self, node: ast.AST, annotation_nodes: Set[int]):
+        """The rendered tuple key of a flagged lookup, or None."""
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Tuple)
+            and id(node) not in annotation_nodes
+        ):
+            return ast.unparse(node.slice)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOOKUP_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Tuple)
+        ):
+            return ast.unparse(node.args[0])
+        return None

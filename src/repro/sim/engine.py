@@ -1,22 +1,29 @@
 """A minimal discrete-event simulation engine.
 
 The closed-queuing model of Section 5.1 is driven by a classic event loop: a
-priority queue of ``(time, sequence, callback)`` entries, a simulation clock,
+priority queue of ``(time, sequence, payload)`` entries, a simulation clock,
 and a stop predicate.  Nothing here is specific to concurrency control; the
 engine is reused by the resource model (CPU/disk service completions), the
 terminals (think-time expirations), and the simulator itself.
 
-The heap stores the bare callback in the tuple — no wrapper object is
-allocated on the (very hot) schedule path, and the heap sift compares plain
-``(float, int)`` prefixes at C speed.  Cancellation is the exception, not the
-rule: callers that need it use :meth:`EventEngine.schedule_cancellable`, which
-pushes a :class:`ScheduledEvent` wrapper the pop loop knows to unwrap.
+Events sharing one exact timestamp are **batched**: a run of consecutively
+scheduled events landing on the same time — a burst of simultaneous resource
+grants after a termination cascade, a round of unblock retries — shares one
+heap entry whose payload is the list of callbacks in scheduling order.  The
+global sequence counter is monotonic and a batch only ever receives appends
+while it is the most recently created entry, so list position *is* sequence
+order and the execution order is identical to a heap of individual
+``(time, sequence)`` entries; the burst costs one heap push/pop total
+instead of one each, and a solitary event costs exactly what it used to.
+Cancellation is the exception, not the rule: callers that need it use
+:meth:`EventEngine.schedule_cancellable`, which appends a
+:class:`ScheduledEvent` wrapper the pop loop knows to skip.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..core.errors import SimulationError
 
@@ -27,7 +34,7 @@ class ScheduledEvent:
     """A cancellable entry of the event queue.
 
     Only cancellable events pay for this wrapper; plain :meth:`EventEngine.
-    schedule` calls push their callback straight into the heap tuple.
+    schedule` calls append their callback straight into the timestamp batch.
     Ordering is by time, then by insertion sequence (FIFO among simultaneous
     events), which keeps runs deterministic.
     """
@@ -48,11 +55,29 @@ class ScheduledEvent:
         self.callback()
 
 
+#: A batch member: a bare callback or a cancellable wrapper.
+_Member = Union[Callable[[], None], ScheduledEvent]
+
+
 class EventEngine:
     """Priority-queue driven simulation clock."""
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        #: One heap entry per batch; the payload list holds the batch's
+        #: events in scheduling (= sequence) order.
+        self._queue: List[Tuple[float, int, List[_Member]]] = []
+        #: The most recently created batch and its timestamp.  A schedule
+        #: call landing on the same time appends here (no heap traffic);
+        #: anything else — including a pop of this very batch — retires it,
+        #: so a batch is never appended to out of sequence order.
+        self._open_batch: Optional[List[_Member]] = None
+        self._open_time = 0.0
+        #: The batch currently being drained (popped from the heap but not
+        #: fully run — the stop predicate is consulted between members,
+        #: exactly as it was between heap pops).
+        self._batch: Optional[List[_Member]] = None
+        self._batch_index = 0
+        self._batch_time = 0.0
         self._sequence = 0
         self.now = 0.0
         self.events_processed = 0
@@ -64,8 +89,16 @@ class EventEngine:
         """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        time = self.now + delay
         self._sequence += 1
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+        batch = self._open_batch
+        if batch is not None and time == self._open_time:
+            batch.append(callback)
+        else:
+            batch = [callback]
+            self._open_batch = batch
+            self._open_time = time
+            heapq.heappush(self._queue, (time, self._sequence, batch))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute simulated time."""
@@ -74,7 +107,14 @@ class EventEngine:
                 f"cannot schedule an event at {time} before the current time {self.now}"
             )
         self._sequence += 1
-        heapq.heappush(self._queue, (time, self._sequence, callback))
+        batch = self._open_batch
+        if batch is not None and time == self._open_time:
+            batch.append(callback)
+        else:
+            batch = [callback]
+            self._open_batch = batch
+            self._open_time = time
+            heapq.heappush(self._queue, (time, self._sequence, batch))
 
     def schedule_cancellable(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Like :meth:`schedule`, but returns a cancellable handle."""
@@ -83,7 +123,14 @@ class EventEngine:
         time = self.now + delay
         self._sequence += 1
         event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
-        heapq.heappush(self._queue, (time, self._sequence, event))
+        batch = self._open_batch
+        if batch is not None and time == self._open_time:
+            batch.append(event)
+        else:
+            batch = [event]
+            self._open_batch = batch
+            self._open_time = time
+            heapq.heappush(self._queue, (time, self._sequence, batch))
         return event
 
     # ------------------------------------------------------------------
@@ -92,17 +139,35 @@ class EventEngine:
     def step(self) -> bool:
         """Process the next event.  Returns False when the queue is empty."""
         queue = self._queue
-        while queue:
-            time, _, callback = heapq.heappop(queue)
+        batch = self._batch
+        index = self._batch_index
+        while True:
+            if batch is None:
+                if not queue:
+                    self._batch = None
+                    self._batch_index = 0
+                    return False
+                time, _, batch = heapq.heappop(queue)
+                if batch is self._open_batch:
+                    self._open_batch = None
+                self._batch_time = time
+                index = 0
+            try:
+                callback = batch[index]
+            except IndexError:
+                batch = None
+                continue
+            index += 1
             if callback.__class__ is ScheduledEvent:
-                if callback.cancelled:  # type: ignore[attr-defined]
+                if callback.cancelled:  # type: ignore[union-attr]
                     continue
-                callback = callback.callback  # type: ignore[attr-defined]
-            self.now = time
+                callback = callback.callback  # type: ignore[union-attr]
+            self._batch = batch
+            self._batch_index = index
+            self.now = self._batch_time
             self.events_processed += 1
             callback()
             return True
-        return False
 
     def run(
         self,
@@ -112,43 +177,70 @@ class EventEngine:
         """Process events until the stop predicate holds or the queue drains.
 
         ``max_events`` is a safety valve against configuration errors (it
-        raises rather than looping forever).
+        raises rather than looping forever).  The stop predicate runs between
+        every two events — batching never processes past it.
         """
         # The pop loop is inlined (rather than calling ``step`` per event)
         # and the hot attributes are hoisted into locals: this method *is*
         # the simulation's innermost loop.
         queue = self._queue
         heappop = heapq.heappop
+        batch = self._batch
+        index = self._batch_index
+        batch_time = self._batch_time
         processed = 0
         while until is None or not until():
             if max_events is not None and processed >= max_events:
                 raise SimulationError(
                     f"simulation exceeded the safety limit of {max_events} events"
                 )
-            stepped = False
-            while queue:
-                time, _, callback = heappop(queue)
+            ran = False
+            while not ran:
+                if batch is None:
+                    if not queue:
+                        break
+                    batch_time, _, batch = heappop(queue)
+                    if batch is self._open_batch:
+                        self._open_batch = None
+                    index = 0
+                try:
+                    callback = batch[index]
+                except IndexError:
+                    batch = None
+                    continue
+                index += 1
                 if callback.__class__ is ScheduledEvent:
-                    if callback.cancelled:  # type: ignore[attr-defined]
+                    if callback.cancelled:  # type: ignore[union-attr]
                         continue
-                    callback = callback.callback  # type: ignore[attr-defined]
-                self.now = time
+                    callback = callback.callback  # type: ignore[union-attr]
+                self._batch = batch
+                self._batch_index = index
+                self._batch_time = batch_time
+                self.now = batch_time
                 self.events_processed += 1
-                callback()
-                stepped = True
-                break
-            if not stepped:
+                callback()  # type: ignore[operator]
+                ran = True
+            if not ran:
+                self._batch = None
+                self._batch_index = 0
                 if until is not None and not until():
                     raise SimulationError(
                         "event queue drained before the stop condition was met"
                     )
                 return
             processed += 1
+            # A drained batch is never appended to (it was retired from
+            # ``_open_batch`` at pop time), so the local view stays exact.
 
     def pending(self) -> int:
         """Number of (non-cancelled) events still queued."""
-        return sum(
-            1
-            for _, _, callback in self._queue
-            if not (callback.__class__ is ScheduledEvent and callback.cancelled)  # type: ignore[attr-defined]
-        )
+        count = 0
+        if self._batch is not None:
+            for member in self._batch[self._batch_index:]:
+                if not (member.__class__ is ScheduledEvent and member.cancelled):  # type: ignore[union-attr]
+                    count += 1
+        for _, _, members in self._queue:
+            for member in members:
+                if not (member.__class__ is ScheduledEvent and member.cancelled):  # type: ignore[union-attr]
+                    count += 1
+        return count

@@ -404,6 +404,76 @@ class TestRep007:
 
 
 # ---------------------------------------------------------------------------
+# REP008 — no tuple-keyed dict lookups on per-event paths
+# ---------------------------------------------------------------------------
+class TestRep008:
+    def test_catches_subscript_with_tuple_key(self):
+        bad = (
+            "def probe(cache, a, b):\n"
+            "    return cache[(a, b)]\n"
+        )
+        assert "REP008" in rules_in({"src/repro/core/x.py": bad})
+
+    def test_catches_get_with_tuple_key(self):
+        bad = (
+            "def probe(cache, a, b):\n"
+            "    return cache.get((a, b))\n"
+        )
+        assert "REP008" in rules_in({"src/repro/sim/x.py": bad})
+
+    def test_catches_setdefault_and_pop_with_tuple_key(self):
+        bad = (
+            "def track(cache, a, b):\n"
+            "    cache.setdefault((a, b), 0)\n"
+            "    cache.pop((b, a), None)\n"
+        )
+        violations = lint_sources({"src/repro/distributed/x.py": bad})
+        assert sum(1 for v in violations if v.rule == "REP008") == 2
+
+    def test_allows_interned_index(self):
+        good = (
+            "def probe(table, requested_id, executed_id, n_ops):\n"
+            "    return table[requested_id * n_ops + executed_id]\n"
+        )
+        assert "REP008" not in rules_in({"src/repro/core/x.py": good})
+
+    def test_allows_init_and_allow_listed_functions(self):
+        good = (
+            "class Manager:\n"
+            "    def __init__(self, pairs):\n"
+            "        self.cache = {}\n"
+            "        for a, b in pairs:\n"
+            "            self.cache.get((a, b))\n"
+            "    def _compile_policy(self, policy):\n"
+            "        return self.cache[(policy, 0)]\n"
+        )
+        assert "REP008" not in rules_in({"src/repro/core/x.py": good})
+
+    def test_allows_type_annotations(self):
+        good = (
+            "from typing import Dict, Tuple\n"
+            "def build() -> Dict[Tuple[int, str], int]:\n"
+            "    versions: Dict[Tuple[int, str], int] = {}\n"
+            "    return versions\n"
+        )
+        assert "REP008" not in rules_in({"src/repro/distributed/x.py": good})
+
+    def test_outside_checked_packages_not_checked(self):
+        code = (
+            "def probe(cache, a, b):\n"
+            "    return cache[(a, b)]\n"
+        )
+        assert "REP008" not in rules_in({"src/repro/analysis/x.py": code})
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def probe(cache, a, b):\n"
+            "    return cache[(a, b)]  # repro-lint: disable=REP008\n"
+        )
+        assert "REP008" not in rules_in({"src/repro/core/x.py": code})
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 # ---------------------------------------------------------------------------
 class TestPragma:
@@ -441,6 +511,7 @@ class TestRepoTree:
         assert payload["violations"] == []
         assert set(payload["counts"]) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008",
         }
         assert payload["checked_files"] > 20
 
