@@ -20,8 +20,9 @@ import pathlib
 import pstats
 import re
 import sys
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..sim.metrics import RunMetrics
 from ..sim.params import SimulationParameters
@@ -70,6 +71,11 @@ class ProfileReport:
     #: Full pstats text sorted by cumulative time.  Wall-clock: NOT
     #: deterministic; excluded from the default rendering.
     raw_stats: str
+    #: Wall-clock seconds of the profiled run.  Informational only — it
+    #: varies with the host (and with cProfile overhead), so nothing gates
+    #: on it; it rides along so the machine-local speed trajectory can be
+    #: read next to the deterministic call counts.
+    wall_seconds: float = 0.0
 
     @property
     def calls_per_event(self) -> float:
@@ -96,7 +102,12 @@ class ProfileReport:
         for ncalls, location in self.rows[:top]:
             lines.append(f"  {str(ncalls).rjust(width)}  {location}")
         if raw:
-            lines += ["", "raw pstats (wall-clock times; not deterministic):",
+            # Wall-clock output rides with the other host-dependent data so
+            # the default rendering stays byte-identical run over run.
+            lines += ["",
+                      f"wall-clock: {self.wall_seconds:.3f}s under the "
+                      "profiler (host-dependent; the gate is calls/event)",
+                      "", "raw pstats (wall-clock times; not deterministic):",
                       self.raw_stats.rstrip()]
         return "\n".join(lines)
 
@@ -104,10 +115,13 @@ class ProfileReport:
         """The deterministic portion of the report as a JSON-safe dict.
 
         Everything here is reproducible from ``(parameters, seed, python
-        minor version)``; the wall-clock pstats table is deliberately left
-        out.  The interpreter version is recorded because builtin-call counts
-        shift between minor versions — ``compare_profiles`` flags mismatched
-        baselines instead of reporting a phantom regression.
+        minor version)`` except ``wall_seconds``, which records the
+        host-dependent duration of the profiled run for context — comparisons
+        show it but never gate on it.  The wall-clock pstats table is
+        deliberately left out.  The interpreter version is recorded because
+        builtin-call counts shift between minor versions —
+        ``compare_profiles`` flags mismatched baselines instead of reporting
+        a phantom regression.
         """
         return {
             "schema": _PROFILE_SCHEMA,
@@ -121,6 +135,7 @@ class ProfileReport:
             "events_processed": self.metrics.events_processed,
             "total_calls": self.total_calls,
             "calls_per_event": round(self.calls_per_event, 4),
+            "wall_seconds": round(self.wall_seconds, 3),
             "functions": [[ncalls, location] for ncalls, location in self.rows],
         }
 
@@ -146,6 +161,11 @@ class ProfileComparison:
     #: ``(delta, calls_a, calls_b, location)`` rows over the union of
     #: functions, largest absolute delta first (ties by location).
     rows: Tuple[Tuple[int, int, int, str], ...]
+    #: Wall-clock seconds of each profiled run, when the saved profile
+    #: recorded them (older baselines predate the field).  Informational
+    #: only: :meth:`regressed` gates exclusively on the calls/event delta.
+    wall_a: Optional[float] = None
+    wall_b: Optional[float] = None
 
     @property
     def calls_per_event_a(self) -> float:
@@ -179,6 +199,10 @@ class ProfileComparison:
             f"{self.calls_per_event_b:.2f}  ({self.delta_pct:+.2f}%)",
             f"total calls: {self.total_calls_a} -> {self.total_calls_b}  "
             f"(events {self.events_a} -> {self.events_b})",
+            "wall-clock: "
+            f"{'n/a' if self.wall_a is None else f'{self.wall_a:.3f}s'} -> "
+            f"{'n/a' if self.wall_b is None else f'{self.wall_b:.3f}s'}  "
+            "(host-dependent; informational only, never gates)",
         ]
         if self.python_a != self.python_b:
             lines.append(
@@ -217,6 +241,11 @@ def compare_profiles(
     label_b: str = "B",
 ) -> ProfileComparison:
     """Diff two loaded profiles into a :class:`ProfileComparison`."""
+
+    def wall(profile: Dict[str, Any]) -> Optional[float]:
+        value = profile.get("wall_seconds")
+        return float(value) if isinstance(value, (int, float)) else None
+
     calls_a = {location: int(ncalls) for ncalls, location in profile_a["functions"]}
     calls_b = {location: int(ncalls) for ncalls, location in profile_b["functions"]}
     rows = [
@@ -239,6 +268,8 @@ def compare_profiles(
         total_calls_a=int(profile_a["total_calls"]),
         total_calls_b=int(profile_b["total_calls"]),
         rows=tuple(rows),
+        wall_a=wall(profile_a),
+        wall_b=wall(profile_b),
     )
 
 
@@ -247,11 +278,13 @@ def profile_simulation(
 ) -> ProfileReport:
     """Profile one simulation point and return its deterministic report."""
     profiler = cProfile.Profile()
+    started = time.perf_counter()
     profiler.enable()
     try:
         metrics = run_simulation(params, workload_kind=workload_kind)
     finally:
         profiler.disable()
+        wall_seconds = time.perf_counter() - started
 
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
@@ -275,4 +308,5 @@ def profile_simulation(
         total_calls=int(stats.total_calls),  # type: ignore[attr-defined]
         rows=tuple(rows),
         raw_stats=buffer.getvalue(),
+        wall_seconds=wall_seconds,
     )

@@ -32,19 +32,22 @@ Two backends are provided:
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from .compatibility import ConflictClass
 from .dependency_graph import EdgeKind
-from .errors import ReproError, UnknownOperationError
+from .errors import ReproError, TransactionStateError, UnknownObjectError, UnknownOperationError
+from .object_manager import ObjectManager, _OperationGroup
 from .policy import ConflictPolicy
-from .requests import AbortReason, RequestHandle
-from .specification import Event, Invocation
+from .requests import AbortReason, RequestHandle, RequestStatus
+from .specification import Event, Invocation, OperationResult
 from .transaction import Transaction, TransactionStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from .object_manager import ObjectManager
     from .scheduler import Scheduler
+
+#: Signature of a fused submit fast path (see ``compile_submit``).
+FusedSubmit = Callable[[int, str, Invocation], RequestHandle]
 
 __all__ = [
     "ConcurrencyControlBackend",
@@ -116,12 +119,40 @@ class ConcurrencyControlBackend:
         self.scheduler.internal_abort(transaction, reason, handle)
 
     def on_terminate(self, transaction: Transaction, retry_objects: Set[str]) -> None:
-        """A transaction terminated: retry blocked requests that may now run."""
+        """A transaction terminated: retry blocked requests that may now run.
+
+        Consults the scheduler's blocked-object index rather than the full
+        object table: an object with an empty queue has nothing to wake, so a
+        termination touches exactly the objects with pending requests instead
+        of rescanning every queue it visited.
+        """
         scheduler = self.scheduler
+        blocked_index = scheduler._blocked_objects
+        if not blocked_index:
+            return
         for object_name in sorted(retry_objects):
-            manager = scheduler.objects.get(object_name)
+            manager = blocked_index.get(object_name)
             if manager is not None:
                 scheduler.retry_blocked(manager)
+
+    def reset(self) -> None:
+        """Drop per-run protocol state (for :meth:`Scheduler.reset`).
+
+        The base backends keep no state beyond the scheduler reference; the
+        2PL backend clears its lock table here.
+        """
+
+    def compile_submit(self) -> Optional[FusedSubmit]:
+        """An optional fused fast path that replaces ``Scheduler.submit``.
+
+        Called once at scheduler construction, after :meth:`attach`.  A
+        backend may return a closure with the exact semantics of
+        ``Scheduler.submit`` that short-circuits the common no-conflict case
+        (falling back to :meth:`admit` whenever a protocol decision is
+        needed); returning ``None`` keeps the general path — the default, and
+        what subclasses of the built-in backends get unless they opt in.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Hooks used by the shared scheduler machinery
@@ -147,6 +178,97 @@ class ConcurrencyControlBackend:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _grant_fused(
+    scheduler: "Scheduler",
+    transaction: Transaction,
+    manager: ObjectManager,
+    handle: RequestHandle,
+    invocation: Invocation,
+    transaction_id: int,
+    key: Optional[tuple],
+) -> Optional[Event]:
+    """Execute an already-admitted request without re-entering the scheduler.
+
+    This is ``Scheduler.execute_operation`` + ``ObjectManager.execute`` +
+    ``Transaction.record_event`` flattened into one frame, shared by the fused
+    submit closures.  ``key`` is the precomputed ``(op id, conflict param)``
+    group identity, or ``None`` to index through the manager's general path.
+
+    Returns the executed event, or ``None`` when the manager's spec cannot be
+    direct-applied — in that case *nothing has been mutated* and the caller
+    must fall back to the general admission path.
+    """
+    if manager.materialize_state:
+        fns = manager._op_functions
+        if fns is None:
+            return None
+        try:
+            fn = fns[invocation.op]
+        except KeyError:
+            return None
+        sequence = scheduler._sequence + 1
+        scheduler._sequence = sequence
+        result = fn(manager.current_state, invocation.args)
+        if result.__class__ is not OperationResult:
+            # Non-conforming return: re-run through the legacy chain for its
+            # exact validation error (functions are pure, so this is safe).
+            result = manager.spec.apply(manager.current_state, invocation)
+        manager.current_state = result.state
+        value = result.value
+    else:
+        sequence = scheduler._sequence + 1
+        scheduler._sequence = sequence
+        value = None
+    event = Event(
+        object_name=manager.name,
+        invocation=invocation,
+        value=value,
+        transaction_id=transaction_id,
+        sequence=sequence,
+    )
+    manager.uncommitted.append(event)
+    by_tid = manager._events_by_tid
+    try:
+        by_tid[transaction_id].append(event)
+    except KeyError:
+        by_tid[transaction_id] = [event]
+    if key is None:
+        manager._index_event(event)
+    else:
+        groups = manager._op_groups
+        try:
+            group = groups[key]
+        except KeyError:
+            group = groups[key] = _OperationGroup(
+                invocation=invocation, op_id=key[0], param=key[1]
+            )
+            manager._group_key_by_event[id(event)] = key
+            group.owners[transaction_id] = 1
+        except TypeError:
+            # Unhashable conflict parameter: the general path gives the
+            # event its own fallback group.
+            manager._index_event(event)
+        else:
+            manager._group_key_by_event[id(event)] = key
+            owners = group.owners
+            try:
+                owners[transaction_id] += 1
+            except KeyError:
+                owners[transaction_id] = 1
+    history = scheduler.history
+    if history is not None:
+        history.append_event(event)
+    transaction.events.append(event)
+    transaction.objects_visited.add(manager.name)
+    transaction.status = TransactionStatus.ACTIVE
+    handle.status = RequestStatus.EXECUTED
+    handle.value = value
+    scheduler.stats.operations_executed += 1
+    for on_executed in scheduler._on_executed:
+        on_executed(transaction_id, handle, event)
+    return event
 
 
 class SemanticBackend(ConcurrencyControlBackend):
@@ -201,6 +323,104 @@ class SemanticBackend(ConcurrencyControlBackend):
             scheduler.stats.commit_dependency_edges += len(classification.recoverable)
 
         scheduler.execute_operation(transaction, manager, handle, from_queue=from_queue)
+
+    def compile_submit(self) -> Optional[FusedSubmit]:
+        """Fuse submit → admit → classification for the no-conflict case.
+
+        The compiled closure replays ``Scheduler.submit``'s exact lookup and
+        error sequence, then scans the manager's operation groups inline: if
+        the object has no queued requests and the invocation commutes with
+        every uncommitted operation of other transactions, the grant is
+        executed in this same frame (``_grant_fused``).  Any other outcome —
+        a queued request (fairness), an operation outside the compiled
+        tables, a non-commutative pair — bails out to :meth:`admit`, which
+        recomputes the classification from scratch: the scan is pure, so the
+        fallback is bit-identical to never having taken the fast path.
+        """
+        if type(self) is not SemanticBackend:
+            # Subclasses may override admission; they must opt in explicitly.
+            return None
+        scheduler = self.scheduler
+        admit = self.admit
+        active = TransactionStatus.ACTIVE
+        commutative = ConflictClass.COMMUTATIVE
+
+        def fused_submit(
+            transaction_id: int, object_name: str, invocation: Invocation
+        ) -> RequestHandle:
+            try:
+                transaction = scheduler.transactions[transaction_id]
+            except KeyError:
+                raise TransactionStateError(
+                    f"unknown transaction {transaction_id}"
+                ) from None
+            if transaction.status is not active:
+                transaction.require(active)
+            try:
+                manager = scheduler.objects[object_name]
+            except KeyError:
+                raise UnknownObjectError(object_name) from None
+            handle = RequestHandle(
+                transaction_id=transaction_id,
+                object_name=object_name,
+                invocation=invocation,
+            )
+            if manager.blocked:
+                admit(transaction, manager, handle, False)
+                return handle
+            try:
+                requested_id = manager._op_index[invocation.op]
+            except KeyError:
+                admit(transaction, manager, handle, False)
+                return handle
+            if manager._param_is_args:
+                requested_param = invocation.args
+            else:
+                requested_param = manager.spec.conflict_parameter(invocation)
+            groups = manager._op_groups
+            if groups:
+                policy = scheduler.policy
+                if policy is manager._compiled_policy:
+                    tables = manager._compiled_tables
+                else:
+                    tables = manager._tables_for(policy)
+                assert tables is not None
+                unconditional_table = tables[0]
+                base = requested_id * manager._n_ops
+                for group in groups.values():
+                    owners = group.owners
+                    if not owners or (len(owners) == 1 and transaction_id in owners):
+                        continue
+                    group_id = group.op_id
+                    if group_id < 0:
+                        admit(transaction, manager, handle, False)
+                        return handle
+                    index = base + group_id
+                    pairwise = unconditional_table[index]
+                    if pairwise is None:
+                        if requested_param == group.param:
+                            pairwise = tables[1][index]
+                        else:
+                            pairwise = tables[2][index]
+                    if pairwise is not commutative:
+                        admit(transaction, manager, handle, False)
+                        return handle
+            if (
+                _grant_fused(
+                    scheduler,
+                    transaction,
+                    manager,
+                    handle,
+                    invocation,
+                    transaction_id,
+                    (requested_id, requested_param),
+                )
+                is None
+            ):
+                admit(transaction, manager, handle, False)
+            return handle
+
+        return fused_submit
 
     def after_execute(self, manager: "ObjectManager", event: Event) -> None:
         """Keep blocked transactions' wait-for edges complete.
@@ -397,6 +617,89 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
         if changed:
             self._refresh_waiters(manager)
 
+    def compile_submit(self) -> Optional[FusedSubmit]:
+        """Fuse submit → lock check → execute for the uncontended case.
+
+        The fast path applies when the object has no queued requests and the
+        needed lock is either already covered or free of conflicting holders;
+        the lock table update still goes through :meth:`_acquire`, and the
+        waiter refresh is skipped because an empty queue has no edges to
+        re-point.  Everything else bails out to :meth:`admit`, whose lock
+        check is pure up to that point — the fallback is bit-identical.
+        """
+        if type(self) is not TwoPhaseLockingBackend:
+            return None
+        scheduler = self.scheduler
+        backend = self
+        admit = self.admit
+        active = TransactionStatus.ACTIVE
+        exclusive = LockMode.EXCLUSIVE
+        shared = LockMode.SHARED
+
+        def fused_submit(
+            transaction_id: int, object_name: str, invocation: Invocation
+        ) -> RequestHandle:
+            try:
+                transaction = scheduler.transactions[transaction_id]
+            except KeyError:
+                raise TransactionStateError(
+                    f"unknown transaction {transaction_id}"
+                ) from None
+            if transaction.status is not active:
+                transaction.require(active)
+            try:
+                manager = scheduler.objects[object_name]
+            except KeyError:
+                raise UnknownObjectError(object_name) from None
+            handle = RequestHandle(
+                transaction_id=transaction_id,
+                object_name=object_name,
+                invocation=invocation,
+            )
+            if manager.blocked or (
+                manager.materialize_state and manager._op_functions is None
+            ):
+                admit(transaction, manager, handle, False)
+                return handle
+            mode = backend.required_mode(manager, invocation)
+            try:
+                holders = backend._locks[object_name]
+            except KeyError:
+                holders = None
+                held = None
+            else:
+                held = holders.get(transaction_id)
+            if not (held is exclusive or (held is not None and mode is shared)):
+                if holders:
+                    for tid, granted in holders.items():
+                        if tid != transaction_id and (
+                            mode is exclusive or granted is exclusive
+                        ):
+                            admit(transaction, manager, handle, False)
+                            return handle
+            changed = backend._acquire(object_name, transaction_id, mode)
+            if (
+                _grant_fused(
+                    scheduler,
+                    transaction,
+                    manager,
+                    handle,
+                    invocation,
+                    transaction_id,
+                    None,
+                )
+                is None
+            ):
+                # The spec cannot be direct-applied: finish through the
+                # general path (the second _acquire is a no-op).
+                admit(transaction, manager, handle, False)
+                return handle
+            if changed:
+                backend._refresh_waiters(manager)
+            return handle
+
+        return fused_submit
+
     def _refresh_waiters(self, manager: "ObjectManager") -> None:
         """Re-point waiters' wait-for edges after a lock grant or upgrade.
 
@@ -438,6 +741,10 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
                 if not holders:
                     del self._locks[object_name]
         super().on_terminate(transaction, set(retry_objects) | held)
+
+    def reset(self) -> None:
+        self._locks.clear()
+        self._held.clear()
 
     # ------------------------------------------------------------------
     # Retry support

@@ -17,11 +17,11 @@ sound log and needs no type-specific undo code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .compatibility import CompatibilitySpec, ConflictClass
 from .policy import ConflictPolicy, effective_class
-from .specification import Event, Invocation, TypeSpecification
+from .specification import Event, Invocation, OperationResult, TypeSpecification
 
 #: One compiled policy table: ``(unconditional, same_param, diff_param)``
 #: flat arrays indexed by ``requested_id * n_ops + executed_id``.  The
@@ -145,6 +145,10 @@ class ObjectManager:
             spec.initial_state() if initial_state is None else initial_state
         )
         self.current_state: Any = self.committed_state
+        #: The committed state this manager started from.  ``reset()``
+        #: restores it by reference: states are treated as immutable by the
+        #: whole framework (operations return new states), so sharing is safe.
+        self._initial_committed: Any = self.committed_state
         #: Uncommitted operations, in execution order.  Operations of
         #: pseudo-committed transactions stay here until the durable commit.
         self.uncommitted: List[Event] = []
@@ -167,6 +171,23 @@ class ObjectManager:
         self._param_is_args = (
             type(self.spec).conflict_parameter is TypeSpecification.conflict_parameter
         )
+        #: Raw operation functions keyed by op name, for specs that use the
+        #: stock ``apply``/``operation`` dispatch.  Applying through the chain
+        #: ``spec.apply -> spec.operation -> OperationSpec.apply -> function``
+        #: costs four interpreter frames per operation; on the hot execute and
+        #: replay paths the manager calls the function directly instead.  A
+        #: spec that overrides either hook keeps the full legacy path
+        #: (``_op_functions`` stays ``None``).
+        self._op_functions: Optional[Dict[str, Callable[[Any, Tuple[Any, ...]], Any]]]
+        if (
+            type(self.spec).apply is TypeSpecification.apply
+            and type(self.spec).operation is TypeSpecification.operation
+        ):
+            self._op_functions = {
+                op_name: op.function for op_name, op in self.spec.operations().items()
+            }
+        else:
+            self._op_functions = None
         #: Compiled tables per policy, built on first use.  A run exercises a
         #: single policy, so the hot paths check ``_compiled_policy`` by
         #: identity (no enum hash) before falling back to the dict.  Tables
@@ -378,7 +399,23 @@ class ObjectManager:
         manager's uncommitted log).
         """
         if self.materialize_state:
-            result = self.spec.apply(self.current_state, invocation)
+            fns = self._op_functions
+            if fns is not None:
+                try:
+                    fn = fns[invocation.op]
+                except KeyError:
+                    fn = None
+                if fn is not None:
+                    result = fn(self.current_state, invocation.args)
+                    if result.__class__ is not OperationResult:
+                        # Non-conforming return: re-run through the legacy
+                        # chain for its exact validation error (functions are
+                        # pure, so the second application is safe).
+                        result = self.spec.apply(self.current_state, invocation)
+                else:
+                    result = self.spec.apply(self.current_state, invocation)
+            else:
+                result = self.spec.apply(self.current_state, invocation)
             self.current_state = result.state
             value = result.value
         else:
@@ -474,10 +511,7 @@ class ObjectManager:
         for event in removed:
             self._unindex_event(event)
         if commit and self.materialize_state:
-            state = self.committed_state
-            for event in removed:
-                state = self.spec.next_state(state, event.invocation)
-            self.committed_state = state
+            self.committed_state = self._replay(self.committed_state, removed)
         if self.materialize_state:
             if not self.uncommitted:
                 self.current_state = self.committed_state
@@ -487,11 +521,34 @@ class ObjectManager:
                 # visible state exactly as it was — no replay needed.
                 pass
             else:
-                state = self.committed_state
-                for event in self.uncommitted:
-                    state = self.spec.next_state(state, event.invocation)
-                self.current_state = state
+                self.current_state = self._replay(self.committed_state, self.uncommitted)
         return removed
+
+    def _replay(self, state: Any, events: List[Event]) -> Any:
+        """Fold ``events`` over ``state`` (the replay kernel of removal).
+
+        Calls the raw operation functions directly when the spec uses the
+        stock dispatch; the legacy ``next_state`` chain costs several
+        interpreter frames per replayed event.
+        """
+        fns = self._op_functions
+        spec = self.spec
+        if fns is None:
+            for event in events:
+                state = spec.next_state(state, event.invocation)
+            return state
+        for event in events:
+            invocation = event.invocation
+            try:
+                fn = fns[invocation.op]
+            except KeyError:
+                state = spec.apply(state, invocation).state
+                continue
+            result = fn(state, invocation.args)
+            if result.__class__ is not OperationResult:
+                result = spec.apply(state, invocation)
+            state = result.state
+        return state
 
     # ------------------------------------------------------------------
     # Blocked queue maintenance
@@ -519,6 +576,26 @@ class ObjectManager:
         if removed:
             self.blocked = [p for p in self.blocked if p.transaction_id != transaction_id]
         return removed
+
+    # ------------------------------------------------------------------
+    # Reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the manager to its just-constructed state.
+
+        Run state (log, queue, indexes, visible state) goes back to the
+        initial committed state; the construction-time artifacts that make
+        managers expensive to build — compiled policy tables, interned
+        operation ids, the direct-apply function table — are kept, which is
+        the whole point of resetting instead of rebuilding.
+        """
+        self.committed_state = self._initial_committed
+        self.current_state = self._initial_committed
+        self.uncommitted.clear()
+        self.blocked.clear()
+        self._op_groups.clear()
+        self._events_by_tid.clear()
+        self._group_key_by_event.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

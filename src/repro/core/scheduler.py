@@ -36,7 +36,7 @@ A minimal example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from .backends import ConcurrencyControlBackend, make_backend
 from .compatibility import CompatibilitySpec
@@ -144,6 +144,16 @@ class Scheduler:
     or overridden outright by passing a ``backend`` instance.
     """
 
+    #: Listener hooks dispatched through per-hook lists (see add_listener).
+    _HOOKS = (
+        "on_executed",
+        "on_blocked",
+        "on_granted",
+        "on_aborted",
+        "on_pseudo_committed",
+        "on_committed",
+    )
+
     def __init__(
         self,
         policy: ConflictPolicy = ConflictPolicy.RECOVERABILITY,
@@ -151,6 +161,7 @@ class Scheduler:
         record_history: bool = True,
         retain_terminated: bool = True,
         backend: Optional[ConcurrencyControlBackend] = None,
+        fuse_submit: bool = True,
     ):
         self.policy = policy
         self.fair = fair
@@ -166,8 +177,29 @@ class Scheduler:
         self.backend = backend if backend is not None else make_backend(policy)
         self.backend.attach(self)
         self._listeners: List[SchedulerListener] = []
+        #: Per-hook dispatch lists: bound methods of the listeners that
+        #: actually override each hook, so firing an unobserved hook costs
+        #: nothing (the common case — most listeners watch 2-3 hooks).
+        self._on_executed: List[Callable[[int, RequestHandle, Event], None]] = []
+        self._on_blocked: List[Callable[[int, RequestHandle], None]] = []
+        self._on_granted: List[Callable[[int, RequestHandle, Event], None]] = []
+        self._on_aborted: List[Callable[[int, AbortReason], None]] = []
+        self._on_pseudo_committed: List[Callable[[int], None]] = []
+        self._on_committed: List[Callable[[int], None]] = []
+        #: Objects that may have a non-empty blocked queue (an
+        #: over-approximation, pruned as queues drain): terminations wake
+        #: exactly the candidate objects instead of rescanning every queue.
+        self._blocked_objects: Dict[str, ObjectManager] = {}
         self._next_tid = 0
         self._sequence = 0
+        if fuse_submit:
+            # The backend may compile a fused fast path with submit's exact
+            # semantics; binding it as an instance attribute shadows the
+            # method.  The closure reads all scheduler state dynamically, so
+            # reset() and register_object() never invalidate it.
+            fast = self.backend.compile_submit()
+            if fast is not None:
+                self.submit = fast  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Setup
@@ -199,8 +231,18 @@ class Scheduler:
             raise UnknownObjectError(name) from None
 
     def add_listener(self, listener: SchedulerListener) -> None:
-        """Subscribe a listener to scheduler decisions."""
+        """Subscribe a listener to scheduler decisions.
+
+        Dispatch is per hook: a listener's bound method is registered only
+        for the hooks its class overrides, so notification loops skip
+        listeners that would no-op.  Relative order among listeners is
+        preserved within every hook.
+        """
         self._listeners.append(listener)
+        listener_type = type(listener)
+        for hook in self._HOOKS:
+            if getattr(listener_type, hook) is not getattr(SchedulerListener, hook):
+                getattr(self, "_" + hook).append(getattr(listener, hook))
 
     # ------------------------------------------------------------------
     # Transactions
@@ -284,9 +326,10 @@ class Scheduler:
                 transaction_id=transaction.tid, invocation=handle.invocation, payload=handle
             )
         )
+        self._blocked_objects[manager.name] = manager
         transaction.blocked_at.add(manager.name)
-        for listener in self._listeners:
-            listener.on_blocked(transaction.tid, handle)
+        for on_blocked in self._on_blocked:
+            on_blocked(transaction.tid, handle)
 
     def execute_operation(
         self,
@@ -306,11 +349,11 @@ class Scheduler:
         handle.value = event.value
         self.stats.operations_executed += 1
         if from_queue:
-            for listener in self._listeners:
-                listener.on_granted(transaction.tid, handle, event)
+            for on_granted in self._on_granted:
+                on_granted(transaction.tid, handle, event)
         else:
-            for listener in self._listeners:
-                listener.on_executed(transaction.tid, handle, event)
+            for on_executed in self._on_executed:
+                on_executed(transaction.tid, handle, event)
         self.backend.after_execute(manager, event)
         return event
 
@@ -337,12 +380,17 @@ class Scheduler:
         progressed = True
         while progressed:
             progressed = False
-            # Iterating the live queue is safe: every path that mutates it
-            # (stale drop, deadlock abort, grant) breaks out of the loop.
-            for index, pending in enumerate(manager.blocked):
+            # Snapshot the queue binding per pass: up to the first mutating
+            # outcome (stale drop, deadlock abort, grant — each breaks out of
+            # the loop) it is the live queue, so ``del queue[index]`` removes
+            # exactly the entry under the cursor.  Removal by position, not
+            # by value: PendingRequest compares by fields, so ``remove()``
+            # could drop an earlier equal entry and starve this one.
+            queue = manager.blocked
+            for index, pending in enumerate(queue):
                 transaction = self.transactions.get(pending.transaction_id)
                 if transaction is None or transaction.status is not TransactionStatus.BLOCKED:
-                    manager.blocked.remove(pending)
+                    del queue[index]
                     if transaction is not None:
                         transaction.blocked_at.discard(manager.name)
                     progressed = True
@@ -359,7 +407,7 @@ class Scheduler:
                         progressed = True
                         break
                     continue
-                manager.blocked.remove(pending)
+                del queue[index]
                 transaction.blocked_at.discard(manager.name)
                 handle = pending.payload
                 if not isinstance(handle, RequestHandle):
@@ -372,6 +420,34 @@ class Scheduler:
                 self.backend.admit(transaction, manager, handle, from_queue=True)
                 progressed = True
                 break
+        if not manager.blocked:
+            self._blocked_objects.pop(manager.name, None)
+
+    # ------------------------------------------------------------------
+    # Reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the scheduler to its just-constructed state.
+
+        Everything expensive to build survives: the registered object
+        managers (with their compiled policy tables), the backend and its
+        fused submit binding, and the listener subscriptions.  Every piece of
+        per-run state — transactions, dependency graph, statistics, history,
+        blocked queues, tid/sequence counters — goes back to its initial
+        value, so a seeded run on a reset scheduler is bit-identical to one
+        on a freshly constructed scheduler.
+        """
+        self.graph = DependencyGraph()
+        for manager in self.objects.values():
+            manager.reset()
+        self.transactions.clear()
+        self.stats = SchedulerStatistics()
+        if self.history is not None:
+            self.history = ExecutionLog()
+        self._blocked_objects.clear()
+        self._next_tid = 0
+        self._sequence = 0
+        self.backend.reset()
 
     # ------------------------------------------------------------------
     # Commit protocol
@@ -395,8 +471,8 @@ class Scheduler:
         self.stats.pseudo_commits += 1
         if self.history is not None:
             self.history.append_pseudo_commit(transaction.tid)
-        for listener in self._listeners:
-            listener.on_pseudo_committed(transaction.tid)
+        for on_pseudo_committed in self._on_pseudo_committed:
+            on_pseudo_committed(transaction.tid)
         return TransactionStatus.PSEUDO_COMMITTED
 
     def finalize_commit(self, transaction: Transaction) -> None:
@@ -407,8 +483,8 @@ class Scheduler:
         self.stats.commits += 1
         if self.history is not None:
             self.history.append_commit(transaction.tid)
-        for listener in self._listeners:
-            listener.on_committed(transaction.tid)
+        for on_committed in self._on_committed:
+            on_committed(transaction.tid)
         self._after_termination(transaction)
 
     # ------------------------------------------------------------------
@@ -451,6 +527,8 @@ class Scheduler:
             removed_pending = manager.remove_blocked_of(transaction.tid)
             if removed_pending:
                 retry_objects.add(manager.name)
+                if not manager.blocked:
+                    self._blocked_objects.pop(object_name, None)
             for pending in removed_pending:
                 pending_handle = pending.payload
                 if isinstance(pending_handle, RequestHandle):
@@ -466,8 +544,8 @@ class Scheduler:
             handle.abort_reason = reason
         if self.history is not None:
             self.history.append_abort(transaction.tid)
-        for listener in self._listeners:
-            listener.on_aborted(transaction.tid, reason)
+        for on_aborted in self._on_aborted:
+            on_aborted(transaction.tid, reason)
         self._after_termination(transaction, retry_objects=retry_objects)
 
     # ------------------------------------------------------------------

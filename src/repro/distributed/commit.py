@@ -52,6 +52,7 @@ sets stay closed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -134,6 +135,15 @@ class CommitProtocol:
     def attach_clock(self, schedule: Callable[[float, Callable[[], None]], None]) -> None:
         """Give the protocol a way to schedule future work (engine events)."""
         self._schedule = schedule
+
+    def reset(self) -> None:
+        """Discard per-run state for a reused router.
+
+        Router and clock attachments are wiring, not run state — both are
+        kept (the simulator resets its engine in place, so the scheduled
+        clock stays valid).
+        """
+        self.stats = CommitStatistics()
 
     # ------------------------------------------------------------------
     # Shared machinery
@@ -275,6 +285,11 @@ class TwoPhase(CommitProtocol):
         self._awaiting: Set[int] = set()
         self._rechecking = False
 
+    def reset(self) -> None:
+        super().reset()
+        self._awaiting.clear()
+        self._rechecking = False
+
     # ------------------------------------------------------------------
     # Commit path
     # ------------------------------------------------------------------
@@ -364,8 +379,7 @@ class TwoPhase(CommitProtocol):
             return
         self._awaiting.add(transaction.gtid)
         if self.prepare_timeout is not None and self._schedule is not None:
-            gtid = transaction.gtid
-            self._schedule(self.prepare_timeout, lambda: self._expire(gtid))
+            self._schedule(self.prepare_timeout, partial(self._expire, transaction.gtid))
 
     def _expire(self, gtid: int) -> None:
         """The prepare timeout: report the commit even while under-stamped."""

@@ -55,6 +55,12 @@ class UnionCycleDetector:
         #: while a cycle closed in between, silencing the sweep for good.
         self._retired_mutations = 0
 
+    def reset(self) -> None:
+        """Rewind the mutation gate for a reused router (fresh graphs count
+        from zero again)."""
+        self._swept_mutations = 0
+        self._retired_mutations = 0
+
     # ------------------------------------------------------------------
     # The union graph
     # ------------------------------------------------------------------

@@ -120,6 +120,14 @@ class ReplicationProtocol:
             )
         self.router = router
 
+    def reset(self) -> None:
+        """Discard per-run state for a reused router.
+
+        The router attachment is wiring, not run state — it is kept (and
+        :meth:`attach` would reject a second call anyway).
+        """
+        self.stats = ReplicationStatistics()
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -156,10 +164,8 @@ class ReplicationProtocol:
         domains = [self.router.sites[sid].domain for sid in candidates]
         if any(domain is None for domain in domains):
             return candidates
-        order = sorted(
-            range(len(candidates)), key=lambda index: (domains[index].load, index)
-        )
-        return [candidates[index] for index in order]
+        order = sorted((domains[index].load, index) for index in range(len(candidates)))
+        return [candidates[index] for _, index in order]
 
     def _least_loaded(self, candidates: List[int]) -> int:
         """Pick a read replica: the least-loaded candidate, rotation ties."""
@@ -320,6 +326,12 @@ class _VersionedCatchUp(ReplicationProtocol):
         #: Version assigned to an in-flight commit, per (gtid, object name):
         #: branches drain at different times but must stamp the same version.
         self._commit_targets: Dict[Tuple[int, str], int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._version.clear()
+        self._latest.clear()
+        self._commit_targets.clear()
 
     def version_of(self, site_id: int, object_name: str) -> int:
         """The committed version of one copy (0 until its first write)."""
@@ -506,7 +518,8 @@ class QuorumConsensus(_VersionedCatchUp):
         # rotation position breaks ties deterministically).
         best = min(
             range(len(selected)),
-            key=lambda index: (
+            # One key allocation per quorum read, dwarfed by version_of.
+            key=lambda index: (  # repro-lint: disable=REP009
                 selected[index] not in own,
                 -self.version_of(selected[index], object_name),
                 index,
@@ -678,6 +691,10 @@ class PrimaryCopy(_VersionedCatchUp):
         super().__init__()
         #: Placement tuple -> currently elected primary site id.
         self._primaries: Dict[Tuple[int, ...], int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._primaries.clear()
 
     def primary_of(self, object_name: str) -> Optional[int]:
         """The current primary for an object (electing one if needed)."""

@@ -412,6 +412,32 @@ class TransactionRouter:
         """Subscribe a listener to *global* transaction events."""
         self._listeners.append(listener)
 
+    def reset(self) -> None:
+        """Restore the router to its just-constructed, just-registered state.
+
+        Everything structural is kept — object registrations, placement,
+        protocol instances, listeners — while all per-run state (transactions,
+        scheduler contents, protocol bookkeeping, statistics) rewinds to what
+        a fresh build would hold.  The resource charger is *not* kept: it has
+        queueing state of its own, so callers re-attach one (the simulator
+        rebuilds it per run) before charging operations again.
+        """
+        for site, relay in zip(self.sites, self._relays):
+            previous = site.scheduler
+            if site.reset() is not previous:
+                # The reset rebuilt the scheduler (the site had crashed);
+                # re-wire the relay like recover_site does.
+                site.scheduler.add_listener(relay)
+        self.transactions.clear()
+        self.router_stats = RouterStatistics()
+        for local in self._local_map:
+            local.clear()
+        self._next_gtid = 0
+        self._charger = None
+        self.replication.reset()
+        self.commit_protocol.reset()
+        self._cycles.reset()
+
     def attach_resources(self, charger: "ResourceCharger") -> None:
         """Wire up the hardware granted operations are charged to.
 

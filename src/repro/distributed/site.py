@@ -265,6 +265,39 @@ class Site:
         self.failures += 1
         self.unreadable.clear()
 
+    def reset(self) -> Scheduler:
+        """Restore the site to its just-registered initial state.
+
+        A site that never crashed resets its scheduler in place (managers
+        rewind to their registered initial states); one that crashed — or is
+        down right now — rebuilds the scheduler from the remembered
+        registrations with the *original* initial states, because the
+        current managers were registered from durable crash snapshots.
+        Returns the (possibly new) scheduler so the caller can re-attach
+        listeners when it changed.
+        """
+        if self.status.is_up and self.generation == 0:
+            self.scheduler.reset()
+        else:
+            self.scheduler = self._make_scheduler()
+            for name, registration in self._registrations.items():
+                self.scheduler.register_object(
+                    name,
+                    registration.spec,
+                    compatibility=registration.compatibility,
+                    initial_state=registration.initial_state,
+                    materialize_state=registration.materialize_state,
+                )
+        self.status = SiteStatus.UP
+        self.generation = 0
+        self.unreadable.clear()
+        self.failures = 0
+        self.recoveries = 0
+        self.domain = None
+        self._durable_states = {}
+        self._retired_stats = SchedulerStatistics()
+        return self.scheduler
+
     def recover(self) -> Scheduler:
         """Bring the site back up with a fresh scheduler.
 

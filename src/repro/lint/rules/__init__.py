@@ -8,6 +8,7 @@ from .rep005 import Rep005SeamConformance
 from .rep006 import Rep006CounterSurfacing
 from .rep007 import Rep007SlotlessHotClass
 from .rep008 import Rep008TupleKeyLookup
+from .rep009 import Rep009ClosureAllocation
 
 #: Every registered rule, in id order; the runner instantiates these.
 ALL_RULES = (
@@ -19,6 +20,7 @@ ALL_RULES = (
     Rep006CounterSurfacing,
     Rep007SlotlessHotClass,
     Rep008TupleKeyLookup,
+    Rep009ClosureAllocation,
 )
 
 __all__ = [
@@ -31,4 +33,5 @@ __all__ = [
     "Rep006CounterSurfacing",
     "Rep007SlotlessHotClass",
     "Rep008TupleKeyLookup",
+    "Rep009ClosureAllocation",
 ]

@@ -9,8 +9,9 @@ function body of those packages (i.e. at simulation time, not at module
 import) must declare ``__slots__`` — directly or via
 ``@dataclass(slots=True)``.
 
-Construction inside ``__init__`` / ``__post_init__`` is setup wiring, not a
-per-event path, and is not checked.  Classes that are allocated a bounded
+Construction inside ``__init__`` / ``__post_init__`` / ``reset`` is setup
+wiring (``reset`` is the reuse protocol's constructor analogue, run once per
+parameter point), not a per-event path, and is not checked.  Classes that are allocated a bounded
 number of times per *run* (engines, routers, protocol objects, frozen
 result values) are allow-listed below; genuinely deliberate exceptions can
 use the standard pragma (``# repro-lint: disable=REP007``) on the
@@ -123,7 +124,7 @@ class Rep007SlotlessHotClass(Rule):
         for node in ast.walk(source.tree):
             if (
                 isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name in ("__init__", "__post_init__")
+                and node.name in ("__init__", "__post_init__", "reset")
             ):
                 for inner in ast.walk(node):
                     lineno = getattr(inner, "lineno", None)
@@ -132,7 +133,7 @@ class Rep007SlotlessHotClass(Rule):
         for node in ast.walk(source.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            if node.name in ("__init__", "__post_init__"):
+            if node.name in ("__init__", "__post_init__", "reset"):
                 continue
             for inner in ast.walk(node):
                 if not isinstance(inner, ast.Call):

@@ -35,6 +35,7 @@ through; :func:`make_resource_charger` picks the placement from
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
 from .engine import EventEngine
@@ -348,7 +349,7 @@ class GlobalResourceModel(ResourceCharger):
             # per-site charger); they travel in parallel, so the shared
             # pool's single charge starts after one msg_time.
             self.messages_sent += remote
-            self.engine.schedule(self.msg_time, lambda: self._domain.perform_step(done))
+            self.engine.schedule(self.msg_time, partial(self._domain.perform_step, done))
         else:
             self._domain.perform_step(done)
 
@@ -367,6 +368,25 @@ class GlobalResourceModel(ResourceCharger):
         if self.msg_time > 0:
             summary["messages_sent"] = self.messages_sent
         return summary
+
+
+class _BranchJoin:
+    """Countdown join: fires ``done`` when every replica branch finishes.
+
+    One per fanned-out operation — a slotted callable instead of a
+    ``nonlocal`` closure, so the fan-out allocates no function objects.
+    """
+
+    __slots__ = ("remaining", "done")
+
+    def __init__(self, remaining: int, done: Callable[[], None]):
+        self.remaining = remaining
+        self.done = done
+
+    def __call__(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done()
 
 
 class PerSiteResources(ResourceCharger):
@@ -434,13 +454,7 @@ class PerSiteResources(ResourceCharger):
         sites = sorted(executed_sites)
         if not sites:
             raise ValueError("perform_operation needs at least one executing site")
-        remaining = len(sites)
-
-        def branch_done() -> None:
-            nonlocal remaining
-            remaining -= 1
-            if remaining == 0:
-                done()
+        join = _BranchJoin(len(sites), done)
 
         remote = False
         for site_id in sites:
@@ -449,11 +463,10 @@ class PerSiteResources(ResourceCharger):
                 remote = True
                 self.messages_sent += 1
                 self.engine.schedule(
-                    self.msg_time,
-                    lambda domain=domain: domain.perform_step(branch_done),
+                    self.msg_time, partial(domain.perform_step, join)
                 )
             else:
-                domain.perform_step(branch_done)
+                domain.perform_step(join)
         if remote:
             self.remote_operations += 1
 

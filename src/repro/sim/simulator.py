@@ -44,8 +44,10 @@ the scheduler from inside one of its callbacks.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Deque, Dict, Optional, Tuple
 
 from ..core.backends import ConcurrencyControlBackend
@@ -203,13 +205,17 @@ class Simulation(SchedulerListener):
                 2_000_000,
                 200 * self.params.total_completions * self.params.max_length,
             )
+            # Each completion requests an engine stop (see ``_complete``), so
+            # the engine runs flag-checked between-completion segments —
+            # identical event streams to the old per-event predicate, without
+            # two interpreter calls per event to evaluate it.
             while not self._done():
-                self.engine.run(
-                    until=lambda before=self.completions: (
-                        self._done() or self.completions > before
-                    ),
-                    max_events=stall_budget,
-                )
+                before = self.completions
+                self.engine.run_until_stop(max_events=stall_budget)
+                if self.completions == before and not self._done():
+                    raise SimulationError(
+                        "event queue drained before the stop condition was met"
+                    )
         return self.metrics.freeze(
             self.engine.now,
             self.router.stats,
@@ -222,9 +228,7 @@ class Simulation(SchedulerListener):
     def _schedule_site_events(self) -> None:
         """Turn the failure schedule into engine events (site crash/recover)."""
         for time, action, site_id in self.params.failure_schedule:
-            self.engine.schedule_at(
-                time, lambda action=action, site_id=site_id: self._site_event(action, site_id)
-            )
+            self.engine.schedule_at(time, partial(self._site_event, action, site_id))
 
     def _schedule_cycle_sweep(self) -> None:
         """Periodically sweep the union graph for late-closing cycles.
@@ -261,6 +265,58 @@ class Simulation(SchedulerListener):
 
     def _done(self) -> bool:
         return self.completions >= self.params.total_completions
+
+    # ------------------------------------------------------------------
+    # Reuse across parameter points
+    # ------------------------------------------------------------------
+    #: Parameter fields a reused simulation may change between points.  They
+    #: shape the *load* (how many transactions run concurrently, how long),
+    #: not the *system*: everything reachable from object registration — the
+    #: database, placement, protocols, hardware shape — must match, or the
+    #: constructed managers would not be the ones a fresh build produces.
+    _RESET_OVERRIDABLE = ("mpl_level", "total_completions", "warmup_completions")
+
+    def reset(self, params: SimulationParameters) -> None:
+        """Restore seed-equivalent initial state for another run.
+
+        After ``reset(params)`` the simulation behaves exactly like a freshly
+        constructed ``Simulation(params, ...)``: the random streams rewind to
+        their seed-derived starts, every scheduler and object manager returns
+        to its registered initial state, and the engine clock restarts at
+        zero — while the expensive construction work (object registration,
+        compatibility-table compilation, router wiring) is reused.  ``params``
+        may differ from the constructing parameters only in the sweep knobs
+        listed in ``_RESET_OVERRIDABLE``; anything else raises
+        :class:`~repro.core.errors.SimulationError`.
+        """
+        overrides = {name: getattr(self.params, name) for name in self._RESET_OVERRIDABLE}
+        if dataclasses.astuple(params.replace(**overrides)) != dataclasses.astuple(self.params):
+            raise SimulationError(
+                "reset() may only change "
+                + "/".join(self._RESET_OVERRIDABLE)
+                + "; other parameters shape the constructed system and need a new Simulation"
+            )
+        self.params = params
+        self.engine.reset()
+        root_rng = RandomSource(params.seed)
+        self.workload_rng = root_rng.spawn("workload")
+        self.think_rng = root_rng.spawn("think")
+        self.resource_rng = root_rng.spawn("resources")
+        self.workload.reset(self.workload_rng)
+        self.router.reset()
+        # The charger is cheap and holds queueing state; rebuild it like the
+        # constructor does (the engine reference it captures was reset in
+        # place, so its clock is this run's clock).
+        self.resources = make_resource_charger(self.engine, params, self.resource_rng)
+        self.router.attach_resources(self.resources)
+        self.terminals = TerminalPool(params.num_terminals)
+        self.metrics = MetricsCollector()
+        self.ready_queue.clear()
+        self.active_count = 0
+        self.completions = 0
+        self._next_logical_id = 0
+        self._by_scheduler_tid.clear()
+        self._measuring = params.warmup_completions == 0
 
     # ------------------------------------------------------------------
     # Arrival, admission and the ready queue
@@ -318,13 +374,14 @@ class Simulation(SchedulerListener):
         # the restart — nothing to do here.
 
     def _run_resource_phase(self, transaction: LogicalTransaction) -> None:
-        attempt = transaction.attempts
-
-        def finished() -> None:
-            self._operation_finished(transaction, attempt)
-
+        # ``partial`` rather than a closure: this runs once per executed
+        # operation and a partial of a bound method costs no frame of its
+        # own when the charger fires it.
         assert transaction.scheduler_tid is not None
-        self.router.perform_step(transaction.scheduler_tid, finished)
+        self.router.perform_step(
+            transaction.scheduler_tid,
+            partial(self._operation_finished, transaction, transaction.attempts),
+        )
 
     def _attempt_is_stale(self, transaction: LogicalTransaction, attempt: int) -> bool:
         """True when the attempt a delayed callback belonged to is gone.
@@ -354,7 +411,7 @@ class Simulation(SchedulerListener):
         delay = self.router.commit_network_delay(transaction.scheduler_tid)
         if delay > 0:
             self.engine.schedule(
-                delay, lambda: self._complete_after_fanout(transaction, attempt)
+                delay, partial(self._complete_after_fanout, transaction, attempt)
             )
         else:
             self._complete(transaction)
@@ -380,6 +437,9 @@ class Simulation(SchedulerListener):
         transaction.completed = True
         transaction.completion_time = self.engine.now
         self.completions += 1
+        # Hand control back to ``run`` before the next event, exactly where
+        # the old completion predicate would have flipped.
+        self.engine.request_stop()
         self._maybe_start_measuring()
         if self._measuring:
             self.metrics.record_completion(
@@ -443,14 +503,14 @@ class Simulation(SchedulerListener):
         if transaction.attempts > _BACKOFF_ATTEMPTS:
             over = transaction.attempts - _BACKOFF_ATTEMPTS
             delay = max(delay, self.params.step_time * min(over, _BACKOFF_CAP))
-        self.engine.schedule(delay, lambda: self._restart(transaction))
+        self.engine.schedule(delay, partial(self._restart, transaction))
 
     def on_committed(self, transaction_id: int) -> None:
         transaction = self._by_scheduler_tid.pop(transaction_id, None)
         if transaction is None:
             return
         if self.params.pseudo_commit_holds_slot and transaction.completed:
-            self.engine.schedule(0.0, lambda: self._release_slot(transaction))
+            self.engine.schedule(0.0, partial(self._release_slot, transaction))
 
     # ------------------------------------------------------------------
     # Restarts

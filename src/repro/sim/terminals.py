@@ -11,6 +11,7 @@ how fast the system completes work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterator
 
 from .engine import EventEngine
@@ -38,7 +39,7 @@ class Terminal:
     ) -> None:
         """Schedule the terminal's next submission after a think time."""
         delay = rng.exponential(mean_think_time)
-        engine.schedule(delay, lambda: submit(self))
+        engine.schedule(delay, partial(submit, self))
 
 
 class TerminalPool:

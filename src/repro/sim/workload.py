@@ -73,6 +73,16 @@ class Workload:
         """Generate the operation list of a new transaction."""
         raise NotImplementedError
 
+    def reset(self, rng: RandomSource) -> None:
+        """Rewind the template stream for a reused simulation.
+
+        Registration never consumes this stream (the ADT tables come from a
+        ``spawn``-derived child, which reads only the seed), so rebinding the
+        stream alone makes ``next_transaction`` reproduce a fresh build's
+        templates exactly.
+        """
+        self.rng = rng
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -175,12 +185,13 @@ def random_compatibility_table(
     )
 
 
+def _noop(state: object, args: Tuple[object, ...]) -> OperationResult:
+    """Executable body of an abstract operation (behaviour given by tables)."""
+    return OperationResult(state=state, value="ok")
+
+
 def _abstract_operation(name: str) -> OperationSpec:
     """An operation with no executable semantics (behaviour given by tables)."""
-
-    def _noop(state: object, args: Tuple[object, ...]) -> OperationResult:
-        return OperationResult(state=state, value="ok")
-
     return OperationSpec(name=name, function=_noop)
 
 

@@ -474,6 +474,81 @@ class TestRep008:
 
 
 # ---------------------------------------------------------------------------
+# REP009 — no lambda/closure allocation inside per-event functions
+# ---------------------------------------------------------------------------
+class TestRep009:
+    def test_catches_lambda_in_function_body(self):
+        bad = (
+            "def fire(engine, target, delay):\n"
+            "    engine.schedule(delay, lambda: target.step())\n"
+        )
+        assert "REP009" in rules_in({"src/repro/sim/x.py": bad})
+
+    def test_catches_nested_function(self):
+        bad = (
+            "def fire(engine, target, delay):\n"
+            "    def callback():\n"
+            "        target.step()\n"
+            "    engine.schedule(delay, callback)\n"
+        )
+        assert "REP009" in rules_in({"src/repro/distributed/x.py": bad})
+
+    def test_allows_module_and_class_scope_lambdas(self):
+        good = (
+            "KEY = lambda pair: pair[0]\n"
+            "class Ranked:\n"
+            "    order = staticmethod(lambda pair: pair[1])\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_setup_methods(self):
+        good = (
+            "class Model:\n"
+            "    def __init__(self, backend):\n"
+            "        self.factory = lambda: backend\n"
+            "    def reset(self):\n"
+            "        def rebuild():\n"
+            "            return None\n"
+            "        self.factory = rebuild\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_allow_listed_function(self):
+        good = (
+            "class Simulation:\n"
+            "    def _schedule_cycle_sweep(self):\n"
+            "        def sweep():\n"
+            "            self.engine.schedule(1.0, sweep)\n"
+            "        self.engine.schedule(1.0, sweep)\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/sim/x.py": good})
+
+    def test_allows_method_default_evaluated_at_import(self):
+        # A lambda default on a module-level function or method is built
+        # once at definition time, not per call.
+        good = (
+            "class Ranker:\n"
+            "    def rank(self, items, key=lambda item: item):\n"
+            "        return sorted(items, key=key)\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/distributed/x.py": good})
+
+    def test_outside_checked_packages_not_checked(self):
+        code = (
+            "def fire(engine, target, delay):\n"
+            "    engine.schedule(delay, lambda: target.step())\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/analysis/x.py": code})
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def fire(engine, target, delay):\n"
+            "    engine.schedule(delay, lambda: target.step())  # repro-lint: disable=REP009\n"
+        )
+        assert "REP009" not in rules_in({"src/repro/sim/x.py": code})
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 # ---------------------------------------------------------------------------
 class TestPragma:
@@ -511,7 +586,7 @@ class TestRepoTree:
         assert payload["violations"] == []
         assert set(payload["counts"]) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008",
+            "REP008", "REP009",
         }
         assert payload["checked_files"] > 20
 

@@ -1,0 +1,77 @@
+"""Tests for the profile harness's wall-clock column (informational only).
+
+The call-count side of ``repro profile`` is covered by the CLI tests; these
+pin the wall-clock additions: the report records the profiled run's
+duration, saved profiles carry it, comparisons show it without ever gating
+on it, and baselines that predate the field fall back to ``n/a``.
+"""
+
+import pytest
+
+from repro.analysis.profiling import (
+    compare_profiles,
+    load_profile,
+    profile_simulation,
+)
+from repro.core.policy import ConflictPolicy
+from repro.sim.params import SimulationParameters
+
+
+@pytest.fixture(scope="module")
+def report():
+    params = SimulationParameters(
+        database_size=40,
+        mpl_level=4,
+        total_completions=20,
+        policy=ConflictPolicy.RECOVERABILITY,
+        seed=1,
+    )
+    return profile_simulation(params, workload_kind="readwrite")
+
+
+class TestReportWallClock:
+    def test_report_records_positive_wall_seconds(self, report):
+        assert report.wall_seconds > 0
+
+    def test_default_render_stays_deterministic(self, report):
+        # The wall-clock line is host-dependent, so it must not appear in
+        # the default rendering (which is byte-identical run over run).
+        assert "wall-clock" not in report.render(top=5)
+        assert "wall-clock" in report.render(top=5, raw=True)
+
+    def test_saved_profile_carries_wall_seconds(self, report, tmp_path):
+        path = tmp_path / "profile.json"
+        report.save(path)
+        data = load_profile(path)
+        assert data["wall_seconds"] == round(report.wall_seconds, 3)
+
+
+class TestComparisonWallClock:
+    def test_comparison_shows_both_wall_clocks(self, report, tmp_path):
+        path = tmp_path / "profile.json"
+        report.save(path)
+        data = load_profile(path)
+        comparison = compare_profiles(data, data)
+        assert comparison.wall_a == comparison.wall_b == data["wall_seconds"]
+        assert "wall-clock" in comparison.render()
+
+    def test_missing_wall_seconds_renders_not_available(self, report, tmp_path):
+        # Baselines saved before the field existed must still compare.
+        path = tmp_path / "profile.json"
+        report.save(path)
+        old = load_profile(path)
+        old.pop("wall_seconds")
+        comparison = compare_profiles(old, load_profile(path))
+        assert comparison.wall_a is None
+        assert "n/a" in comparison.render()
+
+    def test_wall_clock_never_gates(self, report, tmp_path):
+        # A slower-but-identical run (same counts, bigger wall-clock) is
+        # not a regression: the gate reads calls/event only.
+        path = tmp_path / "profile.json"
+        report.save(path)
+        fast = load_profile(path)
+        slow = dict(fast, wall_seconds=fast["wall_seconds"] * 100 + 10)
+        comparison = compare_profiles(fast, slow)
+        assert not comparison.regressed(0.0)
+        assert comparison.delta_pct == 0.0

@@ -1,0 +1,128 @@
+"""Regression tests for the blocked-queue retry path.
+
+``Scheduler.retry_blocked`` historically removed granted entries from the
+queue it was enumerating; combined with :class:`PendingRequest`'s
+field-based equality that could drop the wrong entry or skip a grantable
+one when several blocked requests became grantable at once.  The retry loop
+now removes by position and rescans after every mutating outcome; these
+tests pin both the observable behaviour (every grantable request is
+granted, fairness preserved) and the equality hazard that makes value-based
+removal unsafe.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import PageType
+from repro.core.object_manager import PendingRequest
+from repro.core.policy import ConflictPolicy
+from repro.core.scheduler import Scheduler
+from repro.core.specification import Invocation
+from repro.core.transaction import TransactionStatus
+
+
+def one_page_scheduler(fair=True):
+    scheduler = Scheduler(policy=ConflictPolicy.COMMUTATIVITY, fair=fair)
+    scheduler.register_object("X", PageType())
+    return scheduler
+
+
+class TestSimultaneousGrants:
+    def test_two_simultaneously_grantable_reads_are_both_granted(self):
+        # T1's uncommitted write blocks two reads on the same object; its
+        # commit makes BOTH grantable in the same retry pass.  The old
+        # enumerate-while-removing loop could skip the entry that slid into
+        # the removed one's slot.
+        scheduler = one_page_scheduler()
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        assert scheduler.perform(t1.tid, "X", "write", 1).executed
+        first = scheduler.perform(t2.tid, "X", "read")
+        second = scheduler.perform(t3.tid, "X", "read")
+        assert first.blocked and second.blocked
+        assert scheduler.commit(t1.tid) is TransactionStatus.COMMITTED
+        assert first.executed
+        assert second.executed
+        assert scheduler.objects["X"].blocked == []
+        assert scheduler.stats.deadlock_aborts == 0
+
+    def test_fairness_survives_the_rescan(self):
+        # A grantable read queued behind a still-conflicting write must stay
+        # queued (fair scheduling): the rescan after granting the write must
+        # re-evaluate the read against the *new* queue state, not a stale
+        # snapshot.
+        scheduler = one_page_scheduler()
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        assert scheduler.perform(t1.tid, "X", "write", 1).executed
+        blocked_write = scheduler.perform(t2.tid, "X", "write", 2)
+        blocked_read = scheduler.perform(t3.tid, "X", "read")
+        assert blocked_write.blocked and blocked_read.blocked
+        scheduler.commit(t1.tid)
+        # The write at the head of the queue is granted; the read now
+        # conflicts with the granted-but-uncommitted write and must wait.
+        assert blocked_write.executed
+        assert blocked_read.blocked
+        scheduler.commit(t2.tid)
+        assert blocked_read.executed
+
+
+class TestSeededQueueStorm:
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+    def test_no_request_is_lost_or_wedged(self, seed):
+        # A seeded storm of transactions contending on one object: whatever
+        # interleaving of blocks, grants, deadlock aborts and commits the
+        # seed produces, every transaction must reach a terminal state and
+        # the blocked queue must drain — a skipped grantable entry would
+        # wedge its transaction forever.
+        rng = random.Random(seed)
+        scheduler = one_page_scheduler()
+        transactions = [scheduler.begin() for _ in range(12)]
+        operations = {t.tid: 0 for t in transactions}
+        handles = []
+        for _ in range(600):
+            ready = [
+                t.tid
+                for t in transactions
+                if scheduler.transactions[t.tid].status is TransactionStatus.ACTIVE
+            ]
+            if not ready:
+                break
+            tid = rng.choice(ready)
+            if operations[tid] >= 1 and rng.random() < 0.4:
+                scheduler.commit(tid)
+                continue
+            if rng.random() < 0.5:
+                handle = scheduler.perform(tid, "X", "read")
+            else:
+                handle = scheduler.perform(tid, "X", "write", rng.randrange(100))
+            operations[tid] += 1
+            handles.append(handle)
+        # Commit any survivors so every blocked request gets its chance.
+        for transaction in transactions:
+            if scheduler.transactions[transaction.tid].status is TransactionStatus.ACTIVE:
+                scheduler.commit(transaction.tid)
+        statuses = {
+            scheduler.transactions[t.tid].status for t in transactions
+        }
+        assert statuses <= {TransactionStatus.COMMITTED, TransactionStatus.ABORTED}
+        assert scheduler.objects["X"].blocked == []
+        for handle in handles:
+            assert handle.executed or handle.aborted
+
+
+class TestValueRemovalHazard:
+    def test_equal_pending_requests_make_value_removal_unsafe(self):
+        # PendingRequest is a dataclass: two distinct queue entries with the
+        # same fields compare equal, so list.remove targeting the later one
+        # silently drops the earlier — exactly why retry_blocked deletes by
+        # position.
+        invocation = Invocation("read", ())
+        first = PendingRequest(transaction_id=7, invocation=invocation)
+        second = PendingRequest(transaction_id=7, invocation=invocation)
+        assert first == second and first is not second
+        queue = [first, second]
+        queue.remove(second)
+        assert queue[0] is second  # the wrong entry went away
+        queue = [first, second]
+        del queue[1]
+        assert queue[0] is first  # positional removal drops the right one
