@@ -77,10 +77,33 @@ def scale():
     return _selected_scale()
 
 
+def result_filename(name: str) -> str:
+    """Canonical ``benchmarks/results`` filename for a saved report.
+
+    This is the one place result filenames are formed.  Registry experiments
+    save under their registry id verbatim (``figure-4.txt``,
+    ``ablation-pseudo-commit-slot.txt``); the tables benchmark saves one
+    report per data type as ``tables_<type>.txt``, which
+    ``tools/bench_summary.py`` maps back to the registry's single ``tables``
+    entry when it checks the directory for orphans.
+    """
+    return f"{name}.txt"
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Write one rendered report under its canonical results filename."""
+
+    def _save(name, text):
+        (results_dir / result_filename(name)).write_text(text + "\n")
+
+    return _save
 
 
 @pytest.fixture(scope="session")
@@ -90,7 +113,7 @@ def workers():
 
 
 @pytest.fixture
-def run_figure(benchmark, scale, workers, results_dir):
+def run_figure(benchmark, scale, workers, save_report):
     """Run one registry experiment under pytest-benchmark and report it.
 
     Returns the :class:`~repro.analysis.experiments.ExperimentResult` so the
@@ -108,7 +131,7 @@ def run_figure(benchmark, scale, workers, results_dir):
         report = render_result(result)
         print()
         print(report)
-        (results_dir / f"{experiment_id}.txt").write_text(report + "\n")
+        save_report(experiment_id, report)
         return result
 
     return _run

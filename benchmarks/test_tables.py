@@ -11,52 +11,52 @@ and, for stack/set/table, identical to the derivation.
 from repro.analysis import compare_tables, parameter_table
 
 
-def _report(benchmark, results_dir, type_name):
+def _report(benchmark, save_report, type_name):
     report = benchmark.pedantic(
         lambda: compare_tables(type_name), rounds=1, iterations=1, warmup_rounds=0
     )
     text = report.render()
     print()
     print(text)
-    (results_dir / f"tables_{type_name}.txt").write_text(text + "\n")
+    save_report(f"tables_{type_name}", text)
     return report
 
 
-def test_tables_1_and_2_page(benchmark, results_dir):
+def test_tables_1_and_2_page(benchmark, save_report):
     """Tables I and II: the read/write page object."""
-    report = _report(benchmark, results_dir, "page")
+    report = _report(benchmark, save_report, "page")
     assert report.all_sound
     # The paper's only coarse entry: two writes of the same value do commute.
     assert [(c.requested, c.executed) for c in report.refinements] == [("write", "write")]
 
 
-def test_tables_3_and_4_stack(benchmark, results_dir):
+def test_tables_3_and_4_stack(benchmark, save_report):
     """Tables III and IV: the stack object."""
-    report = _report(benchmark, results_dir, "stack")
+    report = _report(benchmark, save_report, "stack")
     assert report.all_sound
     assert report.exact_matches == len(report.comparisons)
 
 
-def test_tables_5_and_6_set(benchmark, results_dir):
+def test_tables_5_and_6_set(benchmark, save_report):
     """Tables V and VI: the set object."""
-    report = _report(benchmark, results_dir, "set")
+    report = _report(benchmark, save_report, "set")
     assert report.all_sound
     assert report.exact_matches == len(report.comparisons)
 
 
-def test_tables_7_and_8_table(benchmark, results_dir):
+def test_tables_7_and_8_table(benchmark, save_report):
     """Tables VII and VIII: the keyed table object."""
-    report = _report(benchmark, results_dir, "table")
+    report = _report(benchmark, save_report, "table")
     assert report.all_sound
     assert report.exact_matches == len(report.comparisons)
 
 
-def test_tables_9_and_10_parameters(benchmark, results_dir):
+def test_tables_9_and_10_parameters(benchmark, save_report):
     """Tables IX and X: the simulation parameters and their nominal values."""
     text = benchmark.pedantic(parameter_table, rounds=1, iterations=1, warmup_rounds=0)
     print()
     print(text)
-    (results_dir / "tables_parameters.txt").write_text(text + "\n")
+    save_report("tables_parameters", text)
     assert "database_size" in text and "1000" in text
     assert "num_terminals" in text and "200" in text
     assert "write_probability" in text and "0.3" in text

@@ -16,10 +16,13 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import os
 import pathlib
+import platform
 import pstats
 import re
 import sys
+import sysconfig
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
@@ -31,10 +34,60 @@ from ..sim.simulator import run_simulation
 __all__ = [
     "ProfileReport",
     "ProfileComparison",
+    "interpreter_features",
     "profile_simulation",
     "load_profile",
     "compare_profiles",
 ]
+
+
+def interpreter_features() -> Dict[str, Any]:
+    """Interpreter build facts that shape wall-clock (never call counts).
+
+    Call counts are pinned per minor version; *wall-clock* additionally
+    depends on how the interpreter was built, so the profile records the
+    features that matter for reading its informational timing column:
+
+    - ``jit`` — whether the experimental CPython JIT is present and on.
+      3.14+ exposes a ``sys._jit`` probe; on 3.13 (which can be built with
+      ``--enable-experimental-jit`` but predates the probe) the build
+      flags are consulted instead, with ``PYTHON_JIT=0`` respected.
+    - ``gil_disabled`` — a free-threaded (``--disable-gil``) build.
+    """
+    jit_probe = getattr(sys, "_jit", None)
+    if jit_probe is not None:
+        jit_available = bool(getattr(jit_probe, "is_available", lambda: False)())
+        jit_enabled = bool(getattr(jit_probe, "is_enabled", lambda: False)())
+        jit_source = "sys._jit"
+    else:
+        flags = " ".join(
+            str(sysconfig.get_config_var(name) or "")
+            for name in ("PY_CORE_CFLAGS", "CONFIG_ARGS")
+        )
+        jit_available = "_Py_JIT" in flags or "enable-experimental-jit" in flags
+        jit_enabled = jit_available and os.environ.get("PYTHON_JIT", "1") != "0"
+        jit_source = "build-flags"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "jit_available": jit_available,
+        "jit_enabled": jit_enabled,
+        "jit_source": jit_source,
+        "gil_disabled": bool(sysconfig.get_config_var("Py_GIL_DISABLED") or 0),
+    }
+
+
+def _interpreter_line(features: Dict[str, Any]) -> str:
+    """One-line rendering of :func:`interpreter_features`."""
+    jit = "on" if features["jit_enabled"] else (
+        "available" if features["jit_available"] else "off"
+    )
+    gil = "disabled" if features["gil_disabled"] else "enabled"
+    return (
+        f"interpreter: {features['implementation'].lower()} "
+        f"{features['python']}  jit={jit} "
+        f"(probe: {features['jit_source']})  gil={gil}"
+    )
 
 #: Format tag written into saved profiles, checked on load.
 _PROFILE_SCHEMA = "repro-profile-v1"
@@ -94,6 +147,7 @@ class ProfileReport:
             f"events_processed={self.metrics.events_processed}  "
             f"total_calls={self.total_calls}  "
             f"calls/event={self.calls_per_event:.2f}",
+            _interpreter_line(interpreter_features()),
             "",
             f"top {min(top, len(self.rows))} functions by call count "
             "(deterministic for a seeded run):",
@@ -126,6 +180,7 @@ class ProfileReport:
         return {
             "schema": _PROFILE_SCHEMA,
             "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+            "interpreter": interpreter_features(),
             "workload": self.workload,
             "policy": self.params.policy.value,
             "mpl": self.params.mpl_level,

@@ -344,6 +344,8 @@ class SemanticBackend(ConcurrencyControlBackend):
         admit = self.admit
         active = TransactionStatus.ACTIVE
         commutative = ConflictClass.COMMUTATIVE
+        pool_requests = scheduler.pool_requests
+        handle_pool = scheduler.handle_pool
 
         def fused_submit(
             transaction_id: int, object_name: str, invocation: Invocation
@@ -360,18 +362,41 @@ class SemanticBackend(ConcurrencyControlBackend):
                 manager = scheduler.objects[object_name]
             except KeyError:
                 raise UnknownObjectError(object_name) from None
-            handle = RequestHandle(
-                transaction_id=transaction_id,
-                object_name=object_name,
-                invocation=invocation,
-            )
+            if pool_requests and handle_pool.free:
+                # The fused submit writes into a pooled handle: every
+                # caller-visible field is reinitialised, so the reused box is
+                # indistinguishable from a fresh construction (generation
+                # excepted — it keeps counting for staleness detection).
+                handle_pool.reused += 1
+                handle = handle_pool.free.pop()
+                handle.transaction_id = transaction_id
+                handle.object_name = object_name
+                handle.invocation = invocation
+                handle.status = None
+            else:
+                handle_pool.created += pool_requests
+                handle = RequestHandle(
+                    transaction_id=transaction_id,
+                    object_name=object_name,
+                    invocation=invocation,
+                )
             if manager.blocked:
                 admit(transaction, manager, handle, False)
+                if pool_requests:
+                    handles = transaction.handles
+                    if handles is None:
+                        handles = transaction.handles = []
+                    handles.append(handle)
                 return handle
             try:
                 requested_id = manager._op_index[invocation.op]
             except KeyError:
                 admit(transaction, manager, handle, False)
+                if pool_requests:
+                    handles = transaction.handles
+                    if handles is None:
+                        handles = transaction.handles = []
+                    handles.append(handle)
                 return handle
             if manager._param_is_args:
                 requested_param = invocation.args
@@ -394,6 +419,11 @@ class SemanticBackend(ConcurrencyControlBackend):
                     group_id = group.op_id
                     if group_id < 0:
                         admit(transaction, manager, handle, False)
+                        if pool_requests:
+                            handles = transaction.handles
+                            if handles is None:
+                                handles = transaction.handles = []
+                            handles.append(handle)
                         return handle
                     index = base + group_id
                     pairwise = unconditional_table[index]
@@ -404,6 +434,11 @@ class SemanticBackend(ConcurrencyControlBackend):
                             pairwise = tables[2][index]
                     if pairwise is not commutative:
                         admit(transaction, manager, handle, False)
+                        if pool_requests:
+                            handles = transaction.handles
+                            if handles is None:
+                                handles = transaction.handles = []
+                            handles.append(handle)
                         return handle
             if (
                 _grant_fused(
@@ -418,6 +453,11 @@ class SemanticBackend(ConcurrencyControlBackend):
                 is None
             ):
                 admit(transaction, manager, handle, False)
+            if pool_requests:
+                handles = transaction.handles
+                if handles is None:
+                    handles = transaction.handles = []
+                handles.append(handle)
             return handle
 
         return fused_submit
@@ -635,6 +675,8 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
         active = TransactionStatus.ACTIVE
         exclusive = LockMode.EXCLUSIVE
         shared = LockMode.SHARED
+        pool_requests = scheduler.pool_requests
+        handle_pool = scheduler.handle_pool
 
         def fused_submit(
             transaction_id: int, object_name: str, invocation: Invocation
@@ -651,15 +693,31 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
                 manager = scheduler.objects[object_name]
             except KeyError:
                 raise UnknownObjectError(object_name) from None
-            handle = RequestHandle(
-                transaction_id=transaction_id,
-                object_name=object_name,
-                invocation=invocation,
-            )
+            if pool_requests and handle_pool.free:
+                # Pooled handle: reinitialised field by field, so the fast
+                # path's observable state matches a fresh construction.
+                handle_pool.reused += 1
+                handle = handle_pool.free.pop()
+                handle.transaction_id = transaction_id
+                handle.object_name = object_name
+                handle.invocation = invocation
+                handle.status = None
+            else:
+                handle_pool.created += pool_requests
+                handle = RequestHandle(
+                    transaction_id=transaction_id,
+                    object_name=object_name,
+                    invocation=invocation,
+                )
             if manager.blocked or (
                 manager.materialize_state and manager._op_functions is None
             ):
                 admit(transaction, manager, handle, False)
+                if pool_requests:
+                    handles = transaction.handles
+                    if handles is None:
+                        handles = transaction.handles = []
+                    handles.append(handle)
                 return handle
             mode = backend.required_mode(manager, invocation)
             try:
@@ -676,6 +734,11 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
                             mode is exclusive or granted is exclusive
                         ):
                             admit(transaction, manager, handle, False)
+                            if pool_requests:
+                                handles = transaction.handles
+                                if handles is None:
+                                    handles = transaction.handles = []
+                                handles.append(handle)
                             return handle
             changed = backend._acquire(object_name, transaction_id, mode)
             if (
@@ -693,9 +756,19 @@ class TwoPhaseLockingBackend(ConcurrencyControlBackend):
                 # The spec cannot be direct-applied: finish through the
                 # general path (the second _acquire is a no-op).
                 admit(transaction, manager, handle, False)
+                if pool_requests:
+                    handles = transaction.handles
+                    if handles is None:
+                        handles = transaction.handles = []
+                    handles.append(handle)
                 return handle
             if changed:
                 backend._refresh_waiters(manager)
+            if pool_requests:
+                handles = transaction.handles
+                if handles is None:
+                    handles = transaction.handles = []
+                handles.append(handle)
             return handle
 
         return fused_submit

@@ -5,6 +5,13 @@ so that concurrency-control backends (:mod:`repro.core.backends`) can use them
 without importing the scheduler module itself.  The scheduler re-exports them,
 so existing ``from repro.core.scheduler import RequestHandle`` imports keep
 working.
+
+Handles are *poolable*: when a scheduler runs with request pooling on
+(:class:`~repro.core.pool.ObjectPool`), a handle is retired to a freelist at
+transaction finish and reused by a later submit.  ``generation`` is bumped on
+every retire so a caller that stashed a handle across its transaction's
+termination observes a :class:`~repro.core.errors.StaleHandleError` on the
+next status read instead of silently aliasing the recycled request.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from .errors import StaleHandleError
 from .specification import Invocation
 
 __all__ = ["RequestStatus", "AbortReason", "RequestHandle"]
@@ -24,6 +32,9 @@ class RequestStatus(enum.Enum):
     EXECUTED = "executed"
     BLOCKED = "blocked"
     ABORTED = "aborted"
+    #: The handle was retired to an object pool; any further status read is a
+    #: use-after-recycle bug and raises :class:`StaleHandleError`.
+    RECYCLED = "recycled"
 
 
 class AbortReason(enum.Enum):
@@ -54,15 +65,35 @@ class RequestHandle:
     status: Optional[RequestStatus] = None
     value: Any = None
     abort_reason: Optional[AbortReason] = None
+    #: Bumped each time the handle is retired to a pool.  A caller that
+    #: captured ``(handle, handle.generation)`` can detect recycling; the
+    #: status properties do it automatically by raising on ``RECYCLED``.
+    generation: int = 0
+
+    def retire(self) -> None:
+        """Return the handle to its pool: invalidate every observable field."""
+        self.generation += 1
+        self.status = RequestStatus.RECYCLED
+        self.value = None
+        self.abort_reason = None
 
     @property
     def executed(self) -> bool:
-        return self.status is RequestStatus.EXECUTED
+        status = self.status
+        if status is RequestStatus.RECYCLED:
+            raise StaleHandleError(self.transaction_id, self.generation)
+        return status is RequestStatus.EXECUTED
 
     @property
     def blocked(self) -> bool:
-        return self.status is RequestStatus.BLOCKED
+        status = self.status
+        if status is RequestStatus.RECYCLED:
+            raise StaleHandleError(self.transaction_id, self.generation)
+        return status is RequestStatus.BLOCKED
 
     @property
     def aborted(self) -> bool:
-        return self.status is RequestStatus.ABORTED
+        status = self.status
+        if status is RequestStatus.RECYCLED:
+            raise StaleHandleError(self.transaction_id, self.generation)
+        return status is RequestStatus.ABORTED

@@ -45,6 +45,7 @@ from .errors import TransactionStateError, UnknownObjectError
 from .history import ExecutionLog
 from .object_manager import ObjectManager, PendingRequest
 from .policy import ConflictPolicy
+from .pool import ObjectPool
 from .requests import AbortReason, RequestHandle, RequestStatus
 from .specification import Event, Invocation, TypeSpecification
 from .transaction import Transaction, TransactionStatus
@@ -162,9 +163,19 @@ class Scheduler:
         retain_terminated: bool = True,
         backend: Optional[ConcurrencyControlBackend] = None,
         fuse_submit: bool = True,
+        pool_requests: bool = False,
     ):
         self.policy = policy
         self.fair = fair
+        #: When ``True``, :class:`RequestHandle` and ``PendingRequest``
+        #: instances are retired to freelists at transaction finish and
+        #: reused by later submits (generation counters make a stale
+        #: reference a loud :class:`~repro.core.errors.StaleHandleError`).
+        #: The freelists survive :meth:`reset`, so reset()-reuse across
+        #: experiment sweep points recycles across runs too.
+        self.pool_requests = pool_requests
+        self.handle_pool: ObjectPool[RequestHandle] = ObjectPool()
+        self.pending_pool: ObjectPool[PendingRequest] = ObjectPool()
         #: When ``False``, records of committed/aborted transactions are
         #: dropped from :attr:`transactions` as soon as they terminate.  The
         #: simulator uses this to keep memory flat over very long runs.
@@ -291,6 +302,18 @@ class Scheduler:
         manager = self.objects.get(object_name)
         if manager is None:
             raise UnknownObjectError(object_name)
+        if self.pool_requests:
+            handle = self.acquire_handle(transaction_id, object_name, invocation)
+            self.backend.admit(transaction, manager, handle, from_queue=False)
+            # Track after admit: if admit aborted the transaction, its other
+            # handles were already retired and this one must stay live for
+            # the caller to observe the ABORTED status (it is simply never
+            # pooled — the rare abort-on-submit path leaks one box to GC).
+            handles = transaction.handles
+            if handles is None:
+                handles = transaction.handles = []
+            handles.append(handle)
+            return handle
         handle = RequestHandle(
             transaction_id=transaction_id,
             object_name=object_name,
@@ -298,6 +321,32 @@ class Scheduler:
         )
         self.backend.admit(transaction, manager, handle, from_queue=False)
         return handle
+
+    def acquire_handle(
+        self, transaction_id: int, object_name: str, invocation: Invocation
+    ) -> RequestHandle:
+        """Pop a recycled :class:`RequestHandle` (or construct the first one).
+
+        The reused handle is reinitialised field by field to exactly the
+        state a fresh construction would have — ``generation`` excepted,
+        which keeps counting up for staleness detection.
+        """
+        pool = self.handle_pool
+        if pool.free:
+            pool.reused += 1
+            handle = pool.free.pop()
+            handle.transaction_id = transaction_id
+            handle.object_name = object_name
+            handle.invocation = invocation
+            handle.status = None
+            # value and abort_reason were cleared by retire().
+            return handle
+        pool.created += 1
+        return RequestHandle(
+            transaction_id=transaction_id,
+            object_name=object_name,
+            invocation=invocation,
+        )
 
     # ------------------------------------------------------------------
     # Shared machinery used by the backends
@@ -321,11 +370,27 @@ class Scheduler:
         transaction.blocks += 1
         self.stats.blocks += 1
         handle.status = RequestStatus.BLOCKED
-        manager.enqueue_blocked(
-            PendingRequest(
+        if self.pool_requests:
+            pool = self.pending_pool
+            if pool.free:
+                pool.reused += 1
+                pending = pool.free.pop()
+                pending.transaction_id = transaction.tid
+                pending.invocation = handle.invocation
+                pending.payload = handle
+                # op_id/param were reset by retire(); enqueue_blocked re-stamps.
+            else:
+                pool.created += 1
+                pending = PendingRequest(
+                    transaction_id=transaction.tid,
+                    invocation=handle.invocation,
+                    payload=handle,
+                )
+        else:
+            pending = PendingRequest(
                 transaction_id=transaction.tid, invocation=handle.invocation, payload=handle
             )
-        )
+        manager.enqueue_blocked(pending)
         self._blocked_objects[manager.name] = manager
         transaction.blocked_at.add(manager.name)
         for on_blocked in self._on_blocked:
@@ -393,6 +458,9 @@ class Scheduler:
                     del queue[index]
                     if transaction is not None:
                         transaction.blocked_at.discard(manager.name)
+                    if self.pool_requests:
+                        pending.retire()
+                        self.pending_pool.release(pending)
                     progressed = True
                     break
                 conflicting = self.backend.blocking_conflicts(
@@ -417,6 +485,9 @@ class Scheduler:
                         invocation=pending.invocation,
                         status=RequestStatus.BLOCKED,
                     )
+                if self.pool_requests:
+                    pending.retire()
+                    self.pending_pool.release(pending)
                 self.backend.admit(transaction, manager, handle, from_queue=True)
                 progressed = True
                 break
@@ -534,6 +605,9 @@ class Scheduler:
                 if isinstance(pending_handle, RequestHandle):
                     pending_handle.status = RequestStatus.ABORTED
                     pending_handle.abort_reason = reason
+                if self.pool_requests:
+                    pending.retire()
+                    self.pending_pool.release(pending)
         transaction.blocked_at.clear()
         for object_name in transaction.objects_visited:
             self.objects[object_name].remove_transaction(transaction.tid, commit=False)
@@ -575,6 +649,23 @@ class Scheduler:
         if retry_objects is None:
             retry_objects = set(transaction.objects_visited)
         self.backend.on_terminate(transaction, retry_objects)
+
+        # Retire the terminated transaction's handles to the freelist.  Every
+        # listener already fired (they run before this bookkeeping), so a
+        # caller that kept one of these handles past its transaction's end is
+        # holding a genuinely stale reference — exactly what the generation
+        # counter turns into a loud StaleHandleError.  Cascaded commits are
+        # safe: each recursion level retires only its own transaction's
+        # handles.
+        handles = transaction.handles
+        if handles:
+            pool = self.handle_pool
+            free = pool.free
+            for recycled in handles:
+                recycled.retire()  # type: ignore[attr-defined]
+                free.append(recycled)
+            pool.released += len(handles)
+            handles.clear()
 
         if not self.retain_terminated:
             self.transactions.pop(transaction.tid, None)

@@ -122,6 +122,10 @@ class CommitProtocol:
         #: Engine hook for future work (the prepare timeout); ``None`` for
         #: direct router users, who drive no simulated clock.
         self._schedule: Optional[Callable[[float, Callable[[], None]], None]] = None
+        #: Typed event kind for the prepare timeout, registered when the
+        #: clock owner also hands over its kind registry (the simulator's
+        #: engine); ``0`` means "not registered — schedule a partial".
+        self._expire_kind = 0
 
     def attach(self, router: "TransactionRouter") -> None:
         """Bind the protocol to its router (called once, at construction)."""
@@ -132,9 +136,25 @@ class CommitProtocol:
             )
         self.router = router
 
-    def attach_clock(self, schedule: Callable[[float, Callable[[], None]], None]) -> None:
-        """Give the protocol a way to schedule future work (engine events)."""
+    def attach_clock(
+        self,
+        schedule: Callable[[float, Callable[[], None]], None],
+        register_kind: Optional[Callable[[Callable[[tuple], None]], int]] = None,
+    ) -> None:
+        """Give the protocol a way to schedule future work (engine events).
+
+        ``register_kind`` (the engine's ``register_kind``, when the clock
+        belongs to an :class:`~repro.sim.engine.EventEngine`) additionally
+        lets the protocol register its recurring timeout as a typed event
+        kind, so each scheduled timeout is a plain ``(kind, gtid)`` tuple
+        instead of a ``functools.partial`` allocation.
+        """
         self._schedule = schedule
+        if register_kind is not None and self._expire_kind == 0:
+            self._expire_kind = register_kind(self._expire_member)
+
+    def _expire_member(self, member: tuple) -> None:
+        """Typed drain handler for the prepare timeout (no-op by default)."""
 
     def reset(self) -> None:
         """Discard per-run state for a reused router.
@@ -379,7 +399,20 @@ class TwoPhase(CommitProtocol):
             return
         self._awaiting.add(transaction.gtid)
         if self.prepare_timeout is not None and self._schedule is not None:
-            self._schedule(self.prepare_timeout, partial(self._expire, transaction.gtid))
+            if self._expire_kind:
+                # Typed member: the engine drains it straight into
+                # ``_expire_member`` with no partial allocated per hold.
+                self._schedule(
+                    self.prepare_timeout,
+                    (self._expire_kind, transaction.gtid),  # type: ignore[arg-type]
+                )
+            else:
+                self._schedule(
+                    self.prepare_timeout, partial(self._expire, transaction.gtid)
+                )
+
+    def _expire_member(self, member: tuple) -> None:
+        self._expire(member[1])
 
     def _expire(self, gtid: int) -> None:
         """The prepare timeout: report the commit even while under-stamped."""

@@ -83,6 +83,7 @@ class Site:
         record_history: bool = False,
         retain_terminated: bool = False,
         backend_factory: Optional[Callable[[], ConcurrencyControlBackend]] = None,
+        pool_requests: bool = False,
     ):
         self.site_id = site_id
         self.policy = policy
@@ -90,6 +91,7 @@ class Site:
         self.record_history = record_history
         self.retain_terminated = retain_terminated
         self.backend_factory = backend_factory
+        self.pool_requests = pool_requests
         self.status = SiteStatus.UP
         #: This site's hardware under per-site resource placement (a
         #: :class:`~repro.sim.resources.ResourceDomain`), attached by the
@@ -126,6 +128,7 @@ class Site:
             record_history=self.record_history,
             retain_terminated=self.retain_terminated,
             backend=self._make_backend(),
+            pool_requests=self.pool_requests,
         )
 
     # ------------------------------------------------------------------

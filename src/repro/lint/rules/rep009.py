@@ -37,7 +37,7 @@ _SETUP_FUNCTIONS = ("__init__", "__post_init__", "reset")
 #: Functions whose closures are allocated a bounded number of times per
 #: run, not per event — the closure is the clear way to write them.
 _ALLOWED_FUNCTIONS = {
-    "_schedule_cycle_sweep",  # simulator: one self-rescheduling sweep closure per run
+    "_rebind_submit",  # router: fused submit compiled once per (re)bind, not per event
 }
 
 

@@ -18,6 +18,19 @@ instead of one each, and a solitary event costs exactly what it used to.
 Cancellation is the exception, not the rule: callers that need it use
 :meth:`EventEngine.schedule_cancellable`, which appends a
 :class:`ScheduledEvent` wrapper the pop loop knows to skip.
+
+Recurring event producers additionally get **typed members**: a producer
+registers an integer event *kind* with a bound handler once, at
+construction (:meth:`EventEngine.register_kind`), and then schedules plain
+tuples ``(kind, *payload)`` instead of callables.  The drain loops route a
+tuple member through the kind-indexed dispatch table — one handler call
+that receives the whole member and unpacks its payload in the same frame,
+where the callable path needs a ``functools.partial``/closure allocation
+per event plus its trampoline.  Dispatch happens at exactly the point the
+generic ``callback()`` call would have happened, with the stop-flag /
+``max_events`` checks at the same inter-event points, so the event stream
+is provably unchanged; generic callables remain fully supported (kind 0 is
+reserved to mean "not typed" and never allocated to a producer).
 """
 
 from __future__ import annotations
@@ -28,6 +41,9 @@ from typing import Callable, List, Optional, Tuple, Union
 from ..core.errors import SimulationError
 
 __all__ = ["ScheduledEvent", "EventEngine"]
+
+#: A typed member's handler: receives the whole ``(kind, *payload)`` tuple.
+KindHandler = Callable[[tuple], None]
 
 
 class ScheduledEvent:
@@ -55,8 +71,12 @@ class ScheduledEvent:
         self.callback()
 
 
-#: A batch member: a bare callback or a cancellable wrapper.
-_Member = Union[Callable[[], None], ScheduledEvent]
+#: A batch member: a bare callback, a typed ``(kind, *payload)`` tuple, or a
+#: cancellable wrapper.
+_Member = Union[Callable[[], None], tuple, ScheduledEvent]
+
+#: What callers may schedule: a callback or a typed member.
+Schedulable = Union[Callable[[], None], tuple]
 
 
 class EventEngine:
@@ -84,11 +104,42 @@ class EventEngine:
         #: Cooperative stop flag for :meth:`run_until_stop` (set by
         #: :meth:`request_stop` from inside a callback).
         self._stop = False
+        #: Kind-indexed dispatch table for typed members.  Index 0 is the
+        #: reserved "generic callable" kind and never holds a handler;
+        #: registrations survive :meth:`reset` (producers register once, at
+        #: construction, and a reset run reuses the same kinds).
+        self._handlers: List[Optional[KindHandler]] = [None]
+
+    # ------------------------------------------------------------------
+    # Typed-member registration
+    # ------------------------------------------------------------------
+    def register_kind(self, handler: KindHandler) -> int:
+        """Register a recurring producer's handler; returns its event kind.
+
+        The returned integer identifies the producer in every typed member
+        it schedules: a member ``(kind, *payload)`` is drained as
+        ``handler(member)``.  Registration order must be deterministic
+        (construction order is), since the kind integers travel inside
+        pinned event streams.
+        """
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def dispatch(self, member: tuple) -> None:
+        """Invoke one typed member synchronously (outside the drain loop).
+
+        For producers whose completion callbacks may fire from a non-engine
+        frame (a FIFO server grant, a branch-join countdown) with a typed
+        member as the continuation.
+        """
+        handler = self._handlers[member[0]]
+        assert handler is not None, f"no handler registered for kind {member[0]}"
+        handler(member)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Schedulable) -> None:
         """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
@@ -103,7 +154,7 @@ class EventEngine:
             self._open_time = time
             heapq.heappush(self._queue, (time, self._sequence, batch))
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Schedulable) -> None:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self.now:
             raise SimulationError(
@@ -169,7 +220,10 @@ class EventEngine:
             self._batch_index = index
             self.now = self._batch_time
             self.events_processed += 1
-            callback()
+            if callback.__class__ is tuple:
+                self._handlers[callback[0]](callback)  # type: ignore[misc, index]
+            else:
+                callback()  # type: ignore[operator]
             return True
 
     def run(
@@ -188,6 +242,7 @@ class EventEngine:
         # the simulation's innermost loop.
         queue = self._queue
         heappop = heapq.heappop
+        handlers = self._handlers
         batch = self._batch
         index = self._batch_index
         batch_time = self._batch_time
@@ -221,7 +276,10 @@ class EventEngine:
                 self._batch_time = batch_time
                 self.now = batch_time
                 self.events_processed += 1
-                callback()  # type: ignore[operator]
+                if callback.__class__ is tuple:
+                    handlers[callback[0]](callback)  # type: ignore[misc, index]
+                else:
+                    callback()  # type: ignore[operator]
                 ran = True
             if not ran:
                 self._batch = None
@@ -254,6 +312,7 @@ class EventEngine:
         self._stop = False
         queue = self._queue
         heappop = heapq.heappop
+        handlers = self._handlers
         batch = self._batch
         index = self._batch_index
         batch_time = self._batch_time
@@ -287,7 +346,10 @@ class EventEngine:
                 self._batch_time = batch_time
                 self.now = batch_time
                 self.events_processed += 1
-                callback()  # type: ignore[operator]
+                if callback.__class__ is tuple:
+                    handlers[callback[0]](callback)  # type: ignore[misc, index]
+                else:
+                    callback()  # type: ignore[operator]
                 ran = True
             if not ran:
                 self._batch = None
@@ -304,7 +366,9 @@ class EventEngine:
         In place because long-lived components hold references to this
         engine and its bound methods (the resource domains, the commit
         protocol's clock): replacing the instance would silently orphan
-        them, while clearing it keeps every reference valid.
+        them, while clearing it keeps every reference valid.  Registered
+        kind handlers are deliberately preserved: producers register once,
+        at construction, and the reset run reuses the same kind integers.
         """
         self._queue.clear()
         self._open_batch = None

@@ -36,8 +36,25 @@ class RandomSource:
         return self._random.expovariate(1.0 / mean)
 
     def uniform_int(self, low: int, high: int) -> int:
-        """A uniform integer in the inclusive range ``[low, high]``."""
-        return self._random.randint(low, high)
+        """A uniform integer in the inclusive range ``[low, high]``.
+
+        Inlines :meth:`random.Random.randint`'s ``low + _randbelow(width)``
+        rejection sampling.  The ``getrandbits`` consumption is bit-identical
+        to the stdlib's on every supported interpreter (randint delegates to
+        the same loop on 3.11–3.13), so seeded streams are unchanged, minus
+        three interpreter frames and three index conversions per draw — this
+        is the hottest rng entry point (object/length selection per
+        workload step).
+        """
+        width = high - low + 1
+        if width <= 0:
+            raise ValueError(f"empty range for uniform_int({low}, {high})")
+        getrandbits = self._random.getrandbits
+        k = width.bit_length()
+        r = getrandbits(k)
+        while r >= width:
+            r = getrandbits(k)
+        return low + r
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """A uniform float in ``[low, high)``."""

@@ -36,11 +36,15 @@ from __future__ import annotations
 
 from collections import deque
 from functools import partial
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Union
 
 from .engine import EventEngine
 from .params import SimulationParameters
 from .random_source import RandomSource
+
+#: An operation-phase continuation: a plain callback, or a typed engine
+#: member ``(kind, *payload)`` registered via ``EventEngine.register_kind``.
+Done = Union[Callable[[], None], tuple]
 
 __all__ = [
     "FifoServer",
@@ -118,7 +122,7 @@ class _StepCharge:
 
     __slots__ = ("domain", "done", "disk")
 
-    def __init__(self, domain: "ResourceDomain", done: Callable[[], None]):
+    def __init__(self, domain: "ResourceDomain", done: Done):
         self.domain = domain
         self.done = done
         self.disk: Optional[FifoServer] = None
@@ -145,7 +149,11 @@ class _StepCharge:
         disk = self.disk
         assert disk is not None
         disk.release()
-        self.done()
+        done = self.done
+        if done.__class__ is tuple:
+            self.domain.engine.dispatch(done)
+        else:
+            done()
 
 
 class ResourceDomain:
@@ -208,12 +216,14 @@ class ResourceDomain:
         return self.cpus.load + sum(disk.load for disk in self.disks)
 
     # ------------------------------------------------------------------
-    def perform_step(self, done: Callable[[], None]) -> None:
+    def perform_step(self, done: Done) -> None:
         """Run the resource phase of one operation, then call ``done``.
 
         Under infinite resources this is a single delay of ``step_time``;
         under finite resources it is CPU service followed by disk service,
-        each with possible queueing.
+        each with possible queueing.  ``done`` may be a typed engine member
+        — the infinite path schedules it as-is, the finite path dispatches
+        it through the engine's kind table when the disk releases.
         """
         if self.cpus is None:
             self.engine.schedule(self.step_time, done)
@@ -266,7 +276,7 @@ class ResourceCharger:
         self,
         executed_sites: Sequence[int],
         home_site: int,
-        done: Callable[[], None],
+        done: Done,
     ) -> None:
         raise NotImplementedError
 
@@ -317,6 +327,15 @@ class GlobalResourceModel(ResourceCharger):
             # unconditional draw order of the original global model.
             single_disk_shortcut=False,
         )
+        # Fused charge path for the paper's reference configuration: with no
+        # network model and infinite resources the whole physical phase is
+        # one engine delay of ``step_time``, so the per-operation charge can
+        # skip the remote-count branch and the ``perform_step`` hop.  Bound
+        # as an instance attribute shadowing the method; the event stream is
+        # byte-identical (same single ``engine.schedule`` at the same point).
+        self._step_time = params.step_time
+        if self.msg_time == 0 and self._domain.cpus is None:
+            self.perform_operation = self._perform_operation_infinite  # type: ignore[method-assign]
 
     # Back-compat views of the shared domain (pre-refactor attribute names).
     @property
@@ -328,15 +347,24 @@ class GlobalResourceModel(ResourceCharger):
         return self._domain.disks
 
     # ------------------------------------------------------------------
-    def perform_step(self, done: Callable[[], None]) -> None:
+    def perform_step(self, done: Done) -> None:
         """Charge one operation to the shared pool (pre-refactor interface)."""
         self._domain.perform_step(done)
+
+    def _perform_operation_infinite(
+        self,
+        executed_sites: Sequence[int],
+        home_site: int,
+        done: Done,
+    ) -> None:
+        """The fused infinite-resource, zero-network charge (see __init__)."""
+        self.engine.schedule(self._step_time, done)
 
     def perform_operation(
         self,
         executed_sites: Sequence[int],
         home_site: int,
-        done: Callable[[], None],
+        done: Done,
     ) -> None:
         """One charge per granted operation, wherever its replicas ran."""
         remote = (
@@ -377,16 +405,21 @@ class _BranchJoin:
     ``nonlocal`` closure, so the fan-out allocates no function objects.
     """
 
-    __slots__ = ("remaining", "done")
+    __slots__ = ("remaining", "done", "engine")
 
-    def __init__(self, remaining: int, done: Callable[[], None]):
+    def __init__(self, remaining: int, done: Done, engine: EventEngine):
         self.remaining = remaining
         self.done = done
+        self.engine = engine
 
     def __call__(self) -> None:
         self.remaining -= 1
         if self.remaining == 0:
-            self.done()
+            done = self.done
+            if done.__class__ is tuple:
+                self.engine.dispatch(done)
+            else:
+                done()
 
 
 class PerSiteResources(ResourceCharger):
@@ -448,13 +481,13 @@ class PerSiteResources(ResourceCharger):
         self,
         executed_sites: Sequence[int],
         home_site: int,
-        done: Callable[[], None],
+        done: Done,
     ) -> None:
         """Charge every executing replica's domain; done when all finish."""
         sites = sorted(executed_sites)
         if not sites:
             raise ValueError("perform_operation needs at least one executing site")
-        join = _BranchJoin(len(sites), done)
+        join = _BranchJoin(len(sites), done, self.engine)
 
         remote = False
         for site_id in sites:

@@ -91,6 +91,9 @@ class LogicalTransaction:
     terminal: Terminal
     template: TransactionTemplate
     submit_time: float
+    #: ``len(template)``, cached at submission: the per-operation completion
+    #: handler compares against it once per executed operation.
+    total_steps: int = 0
     attempts: int = 0
     steps_done: int = 0
     scheduler_tid: Optional[int] = None
@@ -115,9 +118,20 @@ class Simulation(SchedulerListener):
         workload_kind: str = "readwrite",
         workload: Optional[Workload] = None,
         backend: Optional["ConcurrencyControlBackend"] = None,
+        pool_requests: bool = True,
     ):
         self.params = params
         self.engine = EventEngine()
+        # Typed event kinds for the simulator's recurring producers, bound
+        # once here (registration order is construction order, hence
+        # deterministic).  Each hot-loop event is then a plain
+        # ``(kind, *payload)`` tuple drained through the engine's dispatch
+        # table instead of a per-event ``functools.partial``.
+        self._kind_submit = self.engine.register_kind(self._submit)
+        self._kind_op_finished = self.engine.register_kind(self._operation_finished)
+        self._kind_fanout = self.engine.register_kind(self._complete_after_fanout)
+        self._kind_restart = self.engine.register_kind(self._restart)
+        self._kind_sweep = self.engine.register_kind(self._sweep)
         root_rng = RandomSource(params.seed)
         self.workload_rng = root_rng.spawn("workload")
         self.think_rng = root_rng.spawn("think")
@@ -146,11 +160,15 @@ class Simulation(SchedulerListener):
             quorum_write=params.quorum_write,
             commit_protocol=params.commit_protocol,
             prepare_timeout=params.prepare_timeout,
+            pool_requests=pool_requests,
         )
         self.router.add_listener(self)
         # The commit protocol may need to schedule future work (the
-        # two-phase prepare timeout); hand it the engine's clock.
-        self.router.commit_protocol.attach_clock(self.engine.schedule)
+        # two-phase prepare timeout); hand it the engine's clock, plus the
+        # kind registry so its recurring timeout drains as a typed member.
+        self.router.commit_protocol.attach_clock(
+            self.engine.schedule, register_kind=self.engine.register_kind
+        )
         self.workload.register_objects(self.router)
         # The hardware: one shared pool (the paper's model) or one domain
         # per site, per ``params.resource_placement``.  The router owns the
@@ -195,8 +213,8 @@ class Simulation(SchedulerListener):
         self._schedule_site_events()
         self._schedule_cycle_sweep()
         for terminal in self.terminals:
-            terminal.think_then_submit(
-                self.engine, self.think_rng, self.params.ext_think_time, self._submit
+            terminal.think_then_submit_typed(
+                self.engine, self.think_rng, self.params.ext_think_time, self._kind_submit
             )
         if max_events is not None:
             self.engine.run(until=self._done, max_events=max_events)
@@ -244,15 +262,18 @@ class Simulation(SchedulerListener):
         """
         if self.params.site_count <= 1:
             return
-        period = self.params.step_time
+        self.engine.schedule(self.params.step_time, (self._kind_sweep,))
 
-        def sweep() -> None:
-            if self._done():
-                return
-            self.router.sweep_global_cycles()
-            self.engine.schedule(period, sweep)
+    def _sweep(self, member: tuple) -> None:
+        """Typed handler: one union-graph sweep, then reschedule.
 
-        self.engine.schedule(period, sweep)
+        The member carries no payload, so the very same tuple is re-scheduled
+        for the next period — the recurring sweep allocates nothing at all.
+        """
+        if self._done():
+            return
+        self.router.sweep_global_cycles()
+        self.engine.schedule(self.params.step_time, member)
 
     def _site_event(self, action: str, site_id: int) -> None:
         site = self.router.sites[site_id]
@@ -321,17 +342,21 @@ class Simulation(SchedulerListener):
     # ------------------------------------------------------------------
     # Arrival, admission and the ready queue
     # ------------------------------------------------------------------
-    def _submit(self, terminal: Terminal) -> None:
-        """A terminal submits a new transaction (Figure 3 arrival path)."""
+    def _submit(self, member: tuple) -> None:
+        """Typed handler ``(kind, terminal)``: a terminal's think time
+        expired and it submits a new transaction (Figure 3 arrival path)."""
         if self._done():
             return
+        terminal: Terminal = member[1]
         self._next_logical_id += 1
         terminal.submitted += 1
+        template = self.workload.next_transaction()
         transaction = LogicalTransaction(
             logical_id=self._next_logical_id,
             terminal=terminal,
-            template=self.workload.next_transaction(),
+            template=template,
             submit_time=self.engine.now,
+            total_steps=len(template.steps),
         )
         if self.active_count < self.params.mpl_level:
             self._start(transaction)
@@ -374,52 +399,65 @@ class Simulation(SchedulerListener):
         # the restart — nothing to do here.
 
     def _run_resource_phase(self, transaction: LogicalTransaction) -> None:
-        # ``partial`` rather than a closure: this runs once per executed
-        # operation and a partial of a bound method costs no frame of its
-        # own when the charger fires it.
+        # A typed member rather than a partial: this runs once per executed
+        # operation, and the engine drains the tuple straight into
+        # ``_operation_finished`` with no function object allocated.
         assert transaction.scheduler_tid is not None
         self.router.perform_step(
             transaction.scheduler_tid,
-            partial(self._operation_finished, transaction, transaction.attempts),
+            (self._kind_op_finished, transaction, transaction.attempts),
         )
 
-    def _attempt_is_stale(self, transaction: LogicalTransaction, attempt: int) -> bool:
-        """True when the attempt a delayed callback belonged to is gone.
+    def _operation_finished(self, member: tuple) -> None:
+        """Typed handler ``(kind, transaction, attempt)``: the physical
+        phase of one executed operation completed.
 
-        The attempt was aborted while CPU/disk/network work was in flight —
-        either already restarted (attempts moved on) or with the restart
-        still queued (scheduler_tid cleared by on_aborted; site failures
-        abort active transactions mid-phase, which the centralized system
-        never did).
+        This is the simulator's hottest handler (once per executed
+        operation), so the per-event work is inlined into its frame: the
+        staleness check — the attempt the phase belonged to was aborted
+        while CPU/disk/network work was in flight, either already restarted
+        (attempts moved on) or with the restart still queued
+        (``scheduler_tid`` cleared by ``on_aborted``) — then the next
+        operation's submit, or the commit once the template is exhausted.
         """
-        return (
-            transaction.attempts != attempt
+        transaction: LogicalTransaction = member[1]
+        scheduler_tid = transaction.scheduler_tid
+        if (
+            transaction.attempts != member[2]
             or transaction.completed
-            or transaction.scheduler_tid is None
-        )
-
-    def _operation_finished(self, transaction: LogicalTransaction, attempt: int) -> None:
-        if self._attempt_is_stale(transaction, attempt):
+            or scheduler_tid is None
+        ):
             return
-        transaction.steps_done += 1
-        if transaction.steps_done < len(transaction.template):
-            self._issue_next_operation(transaction)
+        steps_done = transaction.steps_done + 1
+        transaction.steps_done = steps_done
+        if steps_done < transaction.total_steps:
+            object_name, invocation = transaction.template.steps[steps_done]
+            handle = self.router.submit(scheduler_tid, object_name, invocation)
+            if handle.executed:
+                # The attempt is unchanged (checked above), so the drained
+                # member is re-armed as the next phase's continuation.
+                self.router.perform_step(scheduler_tid, member)
+            # BLOCKED: wait for on_granted.  ABORTED: on_aborted already
+            # scheduled the restart — nothing to do here.
             return
         # Commit fan-out: branches at sites other than the transaction's
         # home pay the network cost before the commit lands (zero without a
         # network model, in which case no event is scheduled at all).
-        delay = self.router.commit_network_delay(transaction.scheduler_tid)
+        delay = self.router.commit_network_delay(scheduler_tid)
         if delay > 0:
-            self.engine.schedule(
-                delay, partial(self._complete_after_fanout, transaction, attempt)
-            )
+            self.engine.schedule(delay, (self._kind_fanout, transaction, member[2]))
         else:
             self._complete(transaction)
 
-    def _complete_after_fanout(
-        self, transaction: LogicalTransaction, attempt: int
-    ) -> None:
-        if self._attempt_is_stale(transaction, attempt):
+    def _complete_after_fanout(self, member: tuple) -> None:
+        """Typed handler ``(kind, transaction, attempt)``: commit fan-out
+        network delay elapsed (same staleness rule as the phase handler)."""
+        transaction: LogicalTransaction = member[1]
+        if (
+            transaction.attempts != member[2]
+            or transaction.completed
+            or transaction.scheduler_tid is None
+        ):
             return
         self._complete(transaction)
 
@@ -447,8 +485,8 @@ class Simulation(SchedulerListener):
                 pseudo=status is TransactionStatus.PSEUDO_COMMITTED,
             )
         transaction.terminal.completed += 1
-        transaction.terminal.think_then_submit(
-            self.engine, self.think_rng, self.params.ext_think_time, self._submit
+        transaction.terminal.think_then_submit_typed(
+            self.engine, self.think_rng, self.params.ext_think_time, self._kind_submit
         )
         if status is TransactionStatus.COMMITTED:
             self._by_scheduler_tid.pop(transaction.scheduler_tid, None)
@@ -503,7 +541,7 @@ class Simulation(SchedulerListener):
         if transaction.attempts > _BACKOFF_ATTEMPTS:
             over = transaction.attempts - _BACKOFF_ATTEMPTS
             delay = max(delay, self.params.step_time * min(over, _BACKOFF_CAP))
-        self.engine.schedule(delay, partial(self._restart, transaction))
+        self.engine.schedule(delay, (self._kind_restart, transaction))
 
     def on_committed(self, transaction_id: int) -> None:
         transaction = self._by_scheduler_tid.pop(transaction_id, None)
@@ -515,8 +553,10 @@ class Simulation(SchedulerListener):
     # ------------------------------------------------------------------
     # Restarts
     # ------------------------------------------------------------------
-    def _restart(self, transaction: LogicalTransaction) -> None:
-        """Requeue an aborted transaction at the end of the ready queue."""
+    def _restart(self, member: tuple) -> None:
+        """Typed handler ``(kind, transaction)``: requeue an aborted
+        transaction at the end of the ready queue."""
+        transaction: LogicalTransaction = member[1]
         if self._measuring:
             self.metrics.record_restart()
         self._release_slot(transaction)
@@ -531,8 +571,12 @@ def run_simulation(
     workload_kind: str = "readwrite",
     max_events: Optional[int] = None,
     backend: Optional[ConcurrencyControlBackend] = None,
+    pool_requests: bool = True,
 ) -> RunMetrics:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(params, workload_kind=workload_kind, backend=backend).run(
-        max_events=max_events
-    )
+    return Simulation(
+        params,
+        workload_kind=workload_kind,
+        backend=backend,
+        pool_requests=pool_requests,
+    ).run(max_events=max_events)

@@ -41,6 +41,23 @@ class Terminal:
         delay = rng.exponential(mean_think_time)
         engine.schedule(delay, partial(submit, self))
 
+    def think_then_submit_typed(
+        self,
+        engine: EventEngine,
+        rng: RandomSource,
+        mean_think_time: float,
+        kind: int,
+    ) -> None:
+        """Typed-member variant of :meth:`think_then_submit`.
+
+        Schedules the tuple ``(kind, self)`` instead of a partial: the
+        simulator registered its submission handler under ``kind`` once at
+        construction, so each think expiration allocates no function object
+        and drains through the engine's kind dispatch table.  The rng draw
+        and the scheduled delay are exactly :meth:`think_then_submit`'s.
+        """
+        engine.schedule(rng.exponential(mean_think_time), (kind, self))
+
 
 class TerminalPool:
     """The population of terminals for one simulation run."""

@@ -97,7 +97,36 @@ _KERNEL_TRAJECTORY = {
     "same_timestamp_batching": 115.02,  # one heap entry per timestamp burst
     "fused_grant_path_indexed_queues": 96.79,  # compiled no-conflict submit
     "partial_callbacks_stop_flag": 93.72,  # partials + engine stop flag
+    "typed_dispatch_pooled_submit": 76.61,  # kind-indexed events + slab pools
 }
+
+
+def results_dir_warnings() -> list:
+    """Orphaned files under ``benchmarks/results``: reports matching no id.
+
+    Result files are named in one place (``benchmarks/conftest``'s
+    ``result_filename``): the registry id verbatim, except the tables
+    benchmark's per-type ``tables_<type>.txt`` reports, which all map back
+    to the registry's single ``tables`` entry.  A file matching neither is
+    a stale artifact left behind by a renamed experiment and should be
+    deleted rather than shipped in the uploaded results.
+    """
+    results_dir = ROOT / "benchmarks" / "results"
+    if not results_dir.is_dir():
+        return []
+    known = set(EXPERIMENT_REGISTRY.ids())
+    warnings = []
+    for path in sorted(results_dir.glob("*.txt")):
+        name = path.stem
+        if name.startswith("tables_"):
+            name = "tables"
+        if name not in known:
+            warnings.append(
+                f"warning: benchmarks/results/{path.name} matches no "
+                "registry experiment id — stale artifact from a renamed "
+                "experiment; delete it"
+            )
+    return warnings
 
 
 def profile_summary() -> Dict[str, object]:
@@ -203,6 +232,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown figures: {unknown}; known: "
                      f"{EXPERIMENT_REGISTRY.runnable_ids()}")
     summary = summarize(figure_ids, arguments.scale, workers=arguments.workers)
+    for warning in results_dir_warnings():
+        print(warning, file=sys.stderr)
     arguments.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.output} ({len(summary['figures'])} figures, "
           f"scale={arguments.scale}, workers={arguments.workers}, "
